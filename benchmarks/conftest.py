@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation section and prints the same rows/series the paper reports.
+``REPRO_BENCH_COMMANDS`` scales the workload length (default 2000 commands
+of 4 KiB, matching the calibration runs documented in EXPERIMENTS.md);
+smaller values run faster at some loss of steady-state fidelity.
+"""
+
+import os
+
+import pytest
+
+
+def bench_commands(default: int = 2000) -> int:
+    """Workload length knob shared by the sweep benchmarks."""
+    return int(os.environ.get("REPRO_BENCH_COMMANDS", default))
+
+
+@pytest.fixture(scope="session")
+def n_commands():
+    return bench_commands()

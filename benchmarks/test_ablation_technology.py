@@ -1,0 +1,82 @@
+"""Ablation — payload size and NAND cell technology.
+
+Two sweeps rounding out the exploration space:
+
+* **block size** — the IOZone record-size axis: per-command protocol
+  overhead amortizes as payloads grow until the flash bound takes over;
+* **cell technology** — SLC / MLC / TLC timing corners on the same
+  architecture, with the energy model's J-per-byte alongside.
+"""
+
+from repro.host import sequential_write
+from repro.kernel import Simulator
+from repro.nand import MlcTimingModel, NandGeometry
+from repro.ssd import (CachePolicy, EnergyModel, SsdArchitecture, SsdDevice,
+                       run_workload)
+
+GEO = NandGeometry(planes_per_die=1, blocks_per_plane=64, pages_per_block=32)
+
+
+def _arch(**overrides):
+    defaults = dict(n_channels=4, n_ways=4, dies_per_way=2, n_ddr_buffers=4,
+                    geometry=GEO, dram_refresh=False,
+                    cache_policy=CachePolicy.NO_CACHING)
+    defaults.update(overrides)
+    return SsdArchitecture(**defaults)
+
+
+def block_size_study():
+    """Record-size curve at queue depth 1 (the un-pipelined IOZone view):
+    with no queue to cover NAND latency, only intra-command striping can —
+    so throughput grows with the payload until the channel dies saturate.
+    """
+    from repro.host import HostInterfaceSpec
+    host = HostInterfaceSpec("qd1", 294e6, 1_200_000, queue_depth=1)
+    results = {}
+    for block in (4096, 16384, 65536, 262144):
+        sim = Simulator()
+        device = SsdDevice(sim, _arch(host=host))
+        workload = sequential_write(block * max(24, 2 ** 20 // block),
+                                    block_bytes=block)
+        outcome = run_workload(sim, device, workload)
+        results[block] = outcome.sustained_mbps
+    return results
+
+
+def technology_study():
+    results = {}
+    model = EnergyModel()
+    for name, timing in (("SLC", MlcTimingModel.slc()),
+                         ("MLC", MlcTimingModel.mlc()),
+                         ("TLC", MlcTimingModel.tlc())):
+        sim = Simulator()
+        device = SsdDevice(sim, _arch(nand_timing=timing))
+        outcome = run_workload(sim, device, sequential_write(4096 * 300))
+        results[name] = (outcome.sustained_mbps,
+                         model.nj_per_host_byte(device))
+    return results
+
+
+def run_all():
+    return {"block": block_size_study(), "tech": technology_study()}
+
+
+def test_payload_and_technology_ablation(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\n=== Ablation: block size (seq write, QD1, MB/s) ===")
+    for block, mbps in data["block"].items():
+        print(f"  {block >> 10:>4} KiB {mbps:8.1f}")
+    blocks = data["block"]
+    # Bigger payloads stripe across more dies per command...
+    assert blocks[16384] > 2 * blocks[4096]
+    assert blocks[65536] > 1.5 * blocks[16384]
+    # ...and saturate once the per-channel dies are covered.
+    assert blocks[262144] < 2.5 * blocks[65536]
+
+    print("\n=== Ablation: cell technology (same architecture) ===")
+    print(f"  {'tech':<5} {'MB/s':>8} {'nJ/byte':>9}")
+    for name, (mbps, nj) in data["tech"].items():
+        print(f"  {name:<5} {mbps:8.1f} {nj:9.1f}")
+    tech = data["tech"]
+    assert tech["SLC"][0] > tech["MLC"][0] > tech["TLC"][0]

@@ -1,0 +1,116 @@
+"""Ablation — the WAF abstraction versus a real FTL.
+
+The paper's central modeling bet (Section III-F): abstracting the FTL as a
+write-amplification factor "accounts for the performance implications of
+the FTL without requiring its full implementation".  This ablation runs
+the same random-overwrite workload twice on the same hardware platform:
+
+1. with the **real page-mapping FTL** (greedy GC, wear leveling) driving
+   the timed dies, measuring its actual WAF; then
+2. with the **WAF-abstracted** device configured to exactly that measured
+   WAF,
+
+and checks that the two agree on throughput — the quantitative
+justification for the abstraction the paper validates against hardware.
+"""
+
+from repro.ftl import WafModel
+from repro.host import random_write, sequential_write
+from repro.kernel import Simulator
+from repro.nand import NandGeometry
+from repro.ssd import (CachePolicy, FtlSsdDevice, SsdArchitecture,
+                       SsdDevice, run_workload)
+
+GEO = NandGeometry(planes_per_die=1, blocks_per_plane=16, pages_per_block=16)
+
+
+def _base_arch(waf=None):
+    kwargs = dict(n_channels=2, n_ways=2, dies_per_way=2, n_ddr_buffers=2,
+                  geometry=GEO, dram_refresh=False,
+                  cache_policy=CachePolicy.NO_CACHING)
+    if waf is not None:
+        kwargs["waf"] = waf
+    return SsdArchitecture(**kwargs)
+
+
+def steady_state_waf() -> float:
+    """Measure the page-map FTL's steady random-overwrite WAF, untimed."""
+    from repro.ftl import FlashBackend, PageMapFtl
+    backend = FlashBackend(8, GEO.planes_per_die, 8, GEO.pages_per_block)
+    ftl = PageMapFtl(backend, logical_pages=int(8 * 8 * GEO.pages_per_block
+                                                * 0.6))
+    import random as _random
+    rng = _random.Random(7)
+    for __ in range(2 * ftl.logical_pages):      # fill + churn
+        ftl.write(rng.randrange(ftl.logical_pages))
+    base_host, base_total = ftl.host_writes, ftl.host_writes \
+        + ftl.gc_relocations
+    for __ in range(2 * ftl.logical_pages):      # measurement window
+        ftl.write(rng.randrange(ftl.logical_pages))
+    total = ftl.host_writes + ftl.gc_relocations
+    return (total - base_total) / (ftl.host_writes - base_host)
+
+
+def run_comparison(n_commands=2000):
+    # --- real FTL pass --------------------------------------------------
+    sim = Simulator()
+    ftl_device = FtlSsdDevice(sim, _base_arch(), logical_utilization=0.6,
+                              ftl_blocks_per_plane=8)
+    span = ftl_device.ftl.logical_pages * GEO.page_bytes
+    workload = random_write(4096 * n_commands, span_bytes=span)
+    ftl_result = run_workload(sim, ftl_device, workload)
+    measured_waf = steady_state_waf()
+
+    # --- WAF-abstracted pass at the measured amplification ---------------
+    # erase_share matches this geometry's block size so both layers charge
+    # the same amortized erase traffic.
+    sim2 = Simulator()
+    waf_device = SsdDevice(sim2, _base_arch(
+        waf=WafModel(random_waf=max(1.0, measured_waf),
+                     erase_share=1.0 / GEO.pages_per_block)))
+    waf_result = run_workload(sim2, waf_device, workload)
+
+    # --- sequential reference (both layers should agree at WAF ~ 1) ------
+    sim3 = Simulator()
+    seq_ftl = FtlSsdDevice(sim3, _base_arch(), logical_utilization=0.6,
+                           ftl_blocks_per_plane=8)
+    seq_result = run_workload(
+        sim3, seq_ftl, sequential_write(4096 * n_commands, span_bytes=span))
+
+    return {
+        "ftl_random_mbps": ftl_result.sustained_mbps,
+        "waf_random_mbps": waf_result.sustained_mbps,
+        "steady_waf": measured_waf,
+        "cumulative_waf": ftl_device.measured_waf(),
+        "ftl_seq_mbps": seq_result.sustained_mbps,
+        "ftl_seq_waf": seq_ftl.measured_waf(),
+    }
+
+
+def test_waf_abstraction_vs_real_ftl(benchmark):
+    data = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print("\n=== Ablation: WAF abstraction vs real page-mapping FTL ===")
+    print(f"FTL steady-state WAF         : {data['steady_waf']:.2f} "
+          f"(cumulative over run: {data['cumulative_waf']:.2f})")
+    print(f"real FTL random write        : {data['ftl_random_mbps']:.1f} MB/s")
+    print(f"WAF-abstracted random write  : {data['waf_random_mbps']:.1f} MB/s")
+    print(f"real FTL sequential write    : {data['ftl_seq_mbps']:.1f} MB/s "
+          f"(WAF {data['ftl_seq_waf']:.2f})")
+    ratio = data["waf_random_mbps"] / data["ftl_random_mbps"]
+    print(f"abstraction / real ratio     : {ratio:.2f}x")
+    print("The smooth WAF abstraction spreads GC traffic per page, while "
+          "this FTL collects whole victims in the foreground — the "
+          "abstraction therefore bounds the naive FTL from above at equal "
+          "WAF (a well-pipelined FTL sits between the two).")
+
+    # GC actually ran in the real-FTL pass.
+    assert data["steady_waf"] > 1.3
+    assert data["cumulative_waf"] > 1.1
+    # Sequential traffic is amplification-free in both layers.
+    assert data["ftl_seq_waf"] < 1.1
+    # Both layers agree on the ordering: random << sequential.
+    assert data["ftl_random_mbps"] < 0.8 * data["ftl_seq_mbps"]
+    assert data["waf_random_mbps"] < 0.8 * data["ftl_seq_mbps"]
+    # The abstraction tracks the real FTL within the burstiness envelope:
+    # never slower, and within ~2.5x at equal steady WAF.
+    assert 1.0 <= ratio < 2.5, ratio

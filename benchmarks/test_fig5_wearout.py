@@ -1,0 +1,60 @@
+"""Fig. 5 — performance drop with respect to normalized rated endurance.
+
+Regenerates the four series (fixed/adaptive BCH x read/write) on the
+4-channel / 2-way / 4-die configuration and checks the paper's findings:
+
+* "except for the end-of-life, adaptable BCH achieves a remarkable read
+  throughput gain w.r.t. fixed BCH";
+* at rated endurance the two schemes converge (both decode at t=40);
+* "the encoding operation latency ... is not substantially affected" —
+  write series of the two schemes overlap.
+"""
+
+import os
+
+from repro.core import fig5_wearout_sweep, render_series_table
+
+from conftest import bench_commands
+
+
+def test_fig5_performance_over_wearout(benchmark):
+    fractions = [i / 10 for i in range(11)]
+    n = max(300, bench_commands() // 5)
+    series = benchmark.pedantic(
+        fig5_wearout_sweep,
+        kwargs={"fractions": fractions, "n_commands": n},
+        rounds=1, iterations=1)
+    print("\n=== Fig. 5: Throughput vs normalized rated endurance (MB/s) ===")
+    print(render_series_table(series))
+
+    fixed_read = dict(series["fixed-read"])
+    adaptive_read = dict(series["adaptive-read"])
+    fixed_write = dict(series["fixed-write"])
+    adaptive_write = dict(series["adaptive-write"])
+
+    # Remarkable adaptive read gain early in life...
+    assert adaptive_read[0.0] > 1.7 * fixed_read[0.0]
+    assert adaptive_read[0.5] > 1.3 * fixed_read[0.5]
+    # ...converging at end of life.
+    assert abs(adaptive_read[1.0] - fixed_read[1.0]) \
+        < 0.1 * fixed_read[1.0]
+
+    # Fixed-BCH read throughput is wear-flat (always worst-case decode).
+    values = list(dict(series["fixed-read"]).values())
+    assert max(values) - min(values) < 0.15 * max(values)
+
+    # Adaptive read declines monotonically (stepwise) with wear.
+    adaptive_values = [adaptive_read[f] for f in fractions]
+    assert all(a >= b - 2.0 for a, b in zip(adaptive_values,
+                                            adaptive_values[1:]))
+
+    # Writes: the two schemes overlap at every wear point.
+    for fraction in fractions:
+        assert abs(fixed_write[fraction] - adaptive_write[fraction]) \
+            < 0.1 * fixed_write[fraction], fraction
+
+    # Writes decline mildly with wear (tPROG slowdown), far less than the
+    # adaptive read decline.
+    write_drop = fixed_write[0.0] - fixed_write[1.0]
+    read_drop = adaptive_read[0.0] - adaptive_read[1.0]
+    assert write_drop < read_drop

@@ -1,0 +1,41 @@
+"""Fig. 6 (+ Table III) — simulation speed in kilo-cycles per second.
+
+Measures this kernel's KCPS (simulated 200 MHz platform kilo-cycles per
+wall-clock second) across the eight Table III configurations and checks
+the paper's claim: "the simulation speed scales inversely to the number
+of resources instantiated inside the framework".
+
+Absolute KCPS differs from the paper's SystemC-on-Xeon numbers by
+construction (event-driven Python skips idle cycles); the inverse scaling
+is the reproduced result.
+"""
+
+from repro.core import (render_speed_table, speed_sweep, table3_configs)
+
+from conftest import bench_commands
+
+
+def test_fig6_simulation_speed(benchmark):
+    configs = table3_configs()
+    n = max(200, bench_commands() // 5)
+    samples = benchmark.pedantic(
+        speed_sweep, kwargs={"configs": configs, "n_commands": n},
+        rounds=1, iterations=1)
+    print("\n=== Fig. 6: simulation speed (KCPS) over Table III configs ===")
+    print(render_speed_table(samples))
+
+    kcps = {name: sample.kcps for name, sample in samples.items()}
+
+    # Inverse scaling with instantiated resources: the small end is at
+    # least an order of magnitude faster than the big end.
+    assert kcps["C1"] > 10 * kcps["C8"]
+
+    # Monotone (with slack for wall-clock noise) along the growth axis
+    # C1 -> C4 -> C8.
+    assert kcps["C1"] > kcps["C4"] > kcps["C8"]
+
+    # Loose pairwise trend over the whole table: each step up in resources
+    # may jitter, but no small config is slower than a config 4x larger.
+    order = ["C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8"]
+    for earlier, later in zip(order, order[2:]):
+        assert kcps[earlier] > 0.8 * kcps[later], (earlier, later)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Bottleneck identification and energy accounting.
+
+Two analyses on top of a single run — the "unprecedented insights into the
+architecture behavior" the paper's abstract promises:
+
+1. a **bottleneck report**: per-component busy fractions ranked, plus a
+   parameter sweep showing how the binding constraint migrates when the
+   bottlenecked resource is widened;
+2. an **energy breakdown** from the same run's operation counts (an
+   extension beyond the paper, powered by the stats every component
+   already collects).
+
+Run:  python examples/bottleneck_and_energy.py
+"""
+
+from repro.core import (bottleneck_report, render_sensitivity_table,
+                        sweep_parameter)
+from repro.host import sequential_write
+from repro.kernel import Simulator
+from repro.nand import OnfiTiming
+from repro.ssd import (CachePolicy, EnergyModel, SsdArchitecture, SsdDevice,
+                       run_workload)
+
+
+def arch_with_channels(n_channels):
+    return SsdArchitecture(n_channels=n_channels, n_ddr_buffers=n_channels,
+                           n_ways=2, dies_per_way=1,
+                           onfi_timing=OnfiTiming.source_synchronous(133),
+                           cache_policy=CachePolicy.NO_CACHING,
+                           dram_refresh=False)
+
+
+def main() -> None:
+    print("1. Where does the time go?  (2-channel design, seq write)")
+    sim = Simulator()
+    device = SsdDevice(sim, arch_with_channels(2))
+    result = run_workload(sim, device, sequential_write(4096 * 300))
+    print(f"   throughput: {result.sustained_mbps:.1f} MB/s")
+    for name, value in bottleneck_report(result):
+        bar = "#" * int(value * 30)
+        print(f"   {name:<10} {value:6.1%} {bar}")
+    print()
+
+    print("2. Widen the bottleneck: channel-count sweep")
+    curve = sweep_parameter("channels", [1, 2, 4, 8], arch_with_channels,
+                            sequential_write(4096 * 300))
+    print("   " + render_sensitivity_table(curve).replace("\n", "\n   "))
+    print(f"   elasticity (1 -> 8 channels): {curve.elasticity():.2f}")
+    print()
+
+    print("3. Energy breakdown of the 2-channel run")
+    model = EnergyModel()
+    breakdown = model.breakdown_nj(device)
+    total = sum(breakdown.values())
+    for name, energy_nj in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        print(f"   {name:<14} {energy_nj / 1e6:8.2f} mJ "
+              f"({energy_nj / total:5.1%})")
+    print(f"   total {model.total_mj(device):.2f} mJ, "
+          f"average {model.average_watts(device):.2f} W, "
+          f"{model.nj_per_host_byte(device):.1f} nJ per host byte")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compression study: from real codec ratios to SSD-level throughput.
+
+The paper models the compressor as a parametric block (ratio + bandwidth,
+GZIP-engine timing) placeable at the host interface or at the channel/way
+controller.  This example closes the loop the way a designer would:
+
+1. measure real compression ratios of representative payloads with the
+   built-in mini-DEFLATE codec (LZ77 + canonical Huffman, round-trip
+   verified),
+2. back-annotate the PTD compressor model with each measured ratio,
+3. simulate the SSD at both placements and compare write throughput.
+
+Run:  python examples/compression_study.py
+"""
+
+from repro.compression import (CompressorModel, CompressorPlacement,
+                               compress, decompress, synthetic_page)
+from repro.host import sequential_write
+from repro.ssd import CachePolicy, SsdArchitecture, measure
+
+
+def measured_ratios():
+    print("1. Real mini-DEFLATE ratios on representative 8 KiB payloads")
+    print(f"   {'payload':<10} {'ratio':>7}   round-trip")
+    ratios = {}
+    for kind in ("zeros", "text", "binary", "random"):
+        data = synthetic_page(kind, 8192, seed=13)
+        blob = compress(data)
+        ok = decompress(blob) == data
+        ratio = max(1.0, len(data) / len(blob))
+        ratios[kind] = ratio
+        print(f"   {kind:<10} {ratio:>6.2f}x   {'OK' if ok else 'FAIL'}")
+    print()
+    return ratios
+
+
+def ssd_level(ratios):
+    print("2. SSD write throughput with the back-annotated GZIP engine")
+    arch_base = SsdArchitecture(cache_policy=CachePolicy.NO_CACHING)
+    workload = sequential_write(4096 * 400)
+    baseline = measure(arch_base, workload).sustained_mbps
+    print(f"   no compressor              : {baseline:7.1f} MB/s")
+    for kind in ("text", "random"):
+        for placement in (CompressorPlacement.HOST_INTERFACE,
+                          CompressorPlacement.CHANNEL_WAY):
+            compressor = CompressorModel(placement, ratio=ratios[kind])
+            arch = arch_base.scaled(compressor=compressor)
+            result = measure(arch, workload)
+            print(f"   {kind:<8} data, {placement.value:<8} side "
+                  f": {result.sustained_mbps:7.1f} MB/s "
+                  f"(ratio {ratios[kind]:.2f}x)")
+    print()
+    print("   Compressible traffic halves (or better) the NAND program")
+    print("   traffic and lifts flash-bound throughput accordingly;")
+    print("   incompressible (encrypted) traffic gains nothing — the")
+    print("   Intel SSD 520 behavior the paper cites.")
+
+
+def main() -> None:
+    ratios = measured_ratios()
+    ssd_level(ratios)
+
+
+if __name__ == "__main__":
+    main()

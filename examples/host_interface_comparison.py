@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Host interface comparison: SATA II + NCQ versus PCIe + NVMe.
+
+The paper's Fig. 3/4 pivot: the same highly-parallel SSD behaves
+completely differently behind a 32-command SATA NCQ interface than behind
+an NVMe interface managing up to 64K commands.  This example measures one
+parallel configuration under both interfaces and both cache policies, and
+also sweeps PCIe generations/lane counts to show the link-level model.
+
+Run:  python examples/host_interface_comparison.py
+"""
+
+from repro.host import pcie_nvme_spec, sata2_spec, sequential_write
+from repro.ssd import CachePolicy, SsdArchitecture, measure
+
+
+def main() -> None:
+    workload = sequential_write(4096 * 1200)
+    # A die-rich configuration whose internal bandwidth dwarfs SATA.
+    base = SsdArchitecture(n_ddr_buffers=16, n_channels=16, n_ways=8,
+                           dies_per_way=4)
+
+    print("Interface ideal throughput at 4 KiB blocks:")
+    for spec in (sata2_spec(), pcie_nvme_spec(1, 4), pcie_nvme_spec(2, 8),
+                 pcie_nvme_spec(3, 8)):
+        print(f"  {spec.name:<22} {spec.ideal_throughput_mbps(4096):9.1f} "
+              f"MB/s  (queue depth {spec.queue_depth})")
+    print()
+
+    print(f"Configuration: {base.label} "
+          f"({base.total_dies} dies)\n")
+    print(f"{'interface':<22} {'policy':<10} {'MB/s':>10}")
+    for spec in (sata2_spec(), pcie_nvme_spec(2, 8)):
+        for policy in (CachePolicy.CACHING, CachePolicy.NO_CACHING):
+            arch = base.with_host(spec).with_cache_policy(policy)
+            warm = policy is CachePolicy.CACHING
+            result = measure(arch, workload, warm_start=warm)
+            print(f"{spec.name:<22} {policy.value:<10} "
+                  f"{result.sustained_mbps:>10.1f}")
+    print()
+    print("Reading the table:")
+    print(" * SATA + no-cache flattens near 60 MB/s — NCQ's 32 commands")
+    print("   cannot cover NAND program latency, whatever the parallelism")
+    print("   (the paper's 'performance flattening').")
+    print(" * NVMe's deep queue unveils the internal parallelism: the")
+    print("   no-cache figure leaps an order of magnitude and closely")
+    print("   tracks the cache policy.")
+
+
+if __name__ == "__main__":
+    main()

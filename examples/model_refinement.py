@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Model refinement: the paper's incremental-accuracy workflow.
+
+SSDExplorer's pitch: start exploration with abstract models, then refine
+each block "without changing any other component" as implementations
+become available.  This example walks three refinement steps on the same
+architecture:
+
+1. **CPU**: abstract per-command cost  ->  real FW-RISC firmware executing
+   the dispatch loop over the AHB;
+2. **Compressor**: assumed ratio  ->  ratio back-annotated by running the
+   real mini-DEFLATE codec on representative data;
+3. **Host interface**: folded per-command overhead  ->  FIS-level SATA
+   protocol derivation (and the NVMe packet-level equivalent).
+
+Each step changes one model; the platform and the rest of the experiment
+stay untouched.
+
+Run:  python examples/model_refinement.py
+"""
+
+from repro.compression import (CompressorModel, CompressorPlacement,
+                               synthetic_page)
+from repro.host import sata2_spec, sequential_write
+from repro.host.nvme import PcieLink, nvme_command_overhead_ps
+from repro.host.sata import (ncq_command_overhead_ps, ncq_write_sequence)
+from repro.ssd import CpuMode, SsdArchitecture, measure
+
+
+def refine_cpu() -> None:
+    print("1. CPU refinement: abstract cost -> real firmware execution")
+    workload = sequential_write(4096 * 250)
+    for mode in (CpuMode.ABSTRACT, CpuMode.FIRMWARE):
+        arch = SsdArchitecture(n_channels=2, n_ways=2, dies_per_way=2,
+                               n_ddr_buffers=2, cpu_mode=mode,
+                               dram_refresh=False)
+        result = measure(arch, workload)
+        print(f"   {mode.value:<9} CPU model : "
+              f"{result.sustained_mbps:6.1f} MB/s, mean latency "
+              f"{result.mean_latency_us:7.1f} us")
+    print("   (the real dispatch loop costs a handful of AHB cycles per "
+          "command\n    — invisible at SATA rates, measurable at NVMe "
+          "rates)\n")
+
+
+def refine_compressor() -> None:
+    print("2. Compressor refinement: assumed ratio -> measured ratio")
+    assumed = CompressorModel(CompressorPlacement.HOST_INTERFACE, ratio=2.0)
+    annotated = assumed.with_measured_ratio(synthetic_page("text", 16384))
+    print(f"   assumed ratio  : {assumed.ratio:.2f}x")
+    print(f"   measured ratio : {annotated.ratio:.2f}x "
+          "(mini-DEFLATE on log-like text)")
+    from repro.ssd import CachePolicy
+    workload = sequential_write(4096 * 250)
+    for label, compressor in (("assumed", assumed),
+                              ("measured", annotated)):
+        arch = SsdArchitecture(n_channels=2, n_ways=2, dies_per_way=2,
+                               n_ddr_buffers=2, compressor=compressor,
+                               cache_policy=CachePolicy.NO_CACHING,
+                               dram_refresh=False)
+        result = measure(arch, workload)
+        print(f"   {label:<9} model    : {result.sustained_mbps:6.1f} MB/s "
+              "(flash-bound, no-cache)")
+    print()
+
+
+def refine_host_interface() -> None:
+    print("3. Host interface refinement: folded overhead -> FIS level")
+    folded = sata2_spec().command_overhead_ps
+    derived = ncq_command_overhead_ps()
+    print(f"   folded command overhead  : {folded / 1e6:.2f} us")
+    print(f"   FIS-level derivation     : {derived / 1e6:.2f} us")
+    print("   NCQ write FIS timeline (4 KiB):")
+    for name, duration in ncq_write_sequence(4096):
+        print(f"     {name:<28} {duration / 1e3:8.1f} ns")
+    nvme = nvme_command_overhead_ps(PcieLink(2, 8))
+    print(f"   NVMe packet-level overhead (gen2 x8): {nvme / 1e3:.0f} ns "
+          f"— {folded / nvme:.0f}x below SATA's, the paper's "
+          "'significantly reduced packetization latencies'.")
+
+
+def main() -> None:
+    refine_cpu()
+    refine_compressor()
+    refine_host_interface()
+
+
+if __name__ == "__main__":
+    main()

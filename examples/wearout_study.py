@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Wear-out study: SSD performance across the flash lifetime.
+
+Reproduces the paper's Fig. 5 methodology on a reduced sweep: the same
+4-channel / 2-way / 4-die SSD is simulated at increasing P/E-cycle wear,
+once with a worst-case fixed 40-bit BCH and once with the adaptive BCH
+whose correction capability follows a static wear table.  Shows the read
+throughput gap that motivates adaptive ECC, the end-of-life convergence,
+and the (near) insensitivity of writes.
+
+Run:  python examples/wearout_study.py
+"""
+
+from repro.core import fig5_architecture, render_series_table
+from repro.ecc import AdaptiveBch, FixedBch
+from repro.host import sequential_read, sequential_write
+from repro.ssd import measure
+
+
+def main() -> None:
+    fractions = [0.0, 0.25, 0.5, 0.75, 1.0]
+    n_commands = 300
+    read_wl = sequential_read(4096 * n_commands)
+    write_wl = sequential_write(4096 * n_commands)
+
+    print("Adaptive BCH correction table (P/E cycles -> t):")
+    adaptive = AdaptiveBch()
+    for threshold, t in adaptive.table.entries:
+        print(f"  up to {threshold:>5} cycles: t = {t}")
+    print()
+
+    series = {"fixed-read": [], "adaptive-read": [],
+              "fixed-write": [], "adaptive-write": []}
+    for fraction in fractions:
+        for scheme_name, ecc in (("fixed", FixedBch()),
+                                 ("adaptive", AdaptiveBch())):
+            arch = fig5_architecture(ecc, fraction)
+            read = measure(arch, read_wl)
+            write = measure(arch, write_wl, warm_start=True)
+            series[f"{scheme_name}-read"].append(
+                (fraction, read.sustained_mbps))
+            series[f"{scheme_name}-write"].append(
+                (fraction, write.sustained_mbps))
+
+    print("Throughput vs normalized rated endurance (MB/s):")
+    print(render_series_table(series))
+    print()
+
+    fresh_gain = (series["adaptive-read"][0][1]
+                  / series["fixed-read"][0][1])
+    print(f"Fresh-device adaptive read gain : {fresh_gain:.2f}x")
+    eol_fixed = series["fixed-read"][-1][1]
+    eol_adaptive = series["adaptive-read"][-1][1]
+    print(f"End-of-life convergence         : fixed {eol_fixed:.1f} vs "
+          f"adaptive {eol_adaptive:.1f} MB/s")
+    print("Writes are encode-bound and overlap for both schemes — the "
+          "decode latency growth with t is what separates the read curves.")
+
+
+if __name__ == "__main__":
+    main()

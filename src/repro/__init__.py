@@ -1,0 +1,29 @@
+"""SSDExplorer reproduction: a virtual platform for fine-grained design
+space exploration of Solid State Drives.
+
+Reimplements Zuolo et al., DATE 2014 (DOI 10.7873/DATE.2014.297) as a
+pure-Python library: a discrete-event kernel standing in for SystemC, the
+full SSD architecture template (host interface, DRAM buffers, CPU + AHB,
+channel/way controllers, NAND array, ECC, compression, FTL/WAF), the
+design-space exploration layer, and a benchmark harness regenerating
+every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.ssd import SsdArchitecture, measure
+    from repro.host import sequential_write
+
+    arch = SsdArchitecture()            # 4 buf / 4 chn / 4 way / 2 die
+    result = measure(arch, sequential_write(4096 * 1000))
+    print(result.sustained_mbps, "MB/s")
+"""
+
+__version__ = "1.0.0"
+
+from . import (compression, controller, core, cpu, dram, ecc, ftl, host,
+               interconnect, kernel, nand, ssd)
+
+__all__ = [
+    "__version__", "compression", "controller", "core", "cpu", "dram",
+    "ecc", "ftl", "host", "interconnect", "kernel", "nand", "ssd",
+]

@@ -1,0 +1,233 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro features                 # Table I
+    python -m repro validate                 # Fig. 2
+    python -m repro fig3 --configs C1,C6     # Fig. 3 (subset)
+    python -m repro fig4                     # Fig. 4
+    python -m repro fig5                     # Fig. 5
+    python -m repro fig6                     # Fig. 6
+    python -m repro run --config ssd.cfg --workload SW --commands 1000
+    python -m repro explore --configs C1,C2,C6,C8
+    python -m repro report --out report.md   # everything, as markdown
+
+Every subcommand prints the same rows/series the paper's tables and
+figures report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (DesignSpaceExplorer, ResourceCostModel, TABLE2_LABELS,
+                   fig3_sweep, fig4_sweep, fig5_wearout_sweep,
+                   render_breakdown_table, render_series_table,
+                   render_speed_table, render_table,
+                   render_validation_table, run_validation, speed_sweep,
+                   table2_configs, table3_configs,
+                   verify_ssdexplorer_column)
+from .host.workload import IOZONE_SUITE
+from .kernel import load_file
+from .ssd import SsdArchitecture, from_config, measure
+
+
+def _parse_configs(text: Optional[str]) -> List[str]:
+    if not text:
+        return list(TABLE2_LABELS)
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    unknown = [name for name in names if name not in TABLE2_LABELS]
+    if unknown:
+        raise SystemExit(f"unknown configurations: {unknown}; "
+                         f"choose from {sorted(TABLE2_LABELS)}")
+    return names
+
+
+def cmd_features(args: argparse.Namespace) -> int:
+    print(render_table())
+    print()
+    results = verify_ssdexplorer_column()
+    failing = [name for name, ok in results.items() if not ok]
+    if failing:
+        print(f"MISSING capabilities: {failing}")
+        return 1
+    print(f"All {len(results)} claimed SSDExplorer capabilities verified.")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    points = run_validation(n_commands=args.commands)
+    print(render_validation_table(points))
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    rows = fig3_sweep(n_commands=args.commands,
+                      configs=_parse_configs(args.configs))
+    print(render_breakdown_table(rows))
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    rows = fig4_sweep(n_commands=args.commands,
+                      configs=_parse_configs(args.configs))
+    print(render_breakdown_table(rows))
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    fractions = [i / args.steps for i in range(args.steps + 1)]
+    series = fig5_wearout_sweep(fractions=fractions,
+                                n_commands=args.commands)
+    print(render_series_table(series))
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    samples = speed_sweep(table3_configs(), n_commands=args.commands)
+    print(render_speed_table(samples))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.config:
+        arch = from_config(load_file(args.config))
+    else:
+        arch = SsdArchitecture()
+    factory = IOZONE_SUITE.get(args.workload.upper())
+    if factory is None:
+        raise SystemExit(f"unknown workload {args.workload!r}; "
+                         f"choose from {sorted(IOZONE_SUITE)}")
+    workload = factory(4096 * args.commands, block_bytes=args.block)
+    result = measure(arch, workload, warm_start=args.warm)
+    if args.json:
+        import json
+        payload = result.to_dict()
+        payload["architecture"] = arch.label
+        payload["host"] = arch.host.name
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"architecture : {arch.label}")
+    print(f"host         : {arch.host.name}")
+    print(f"workload     : {args.workload.upper()} x {args.commands} "
+          f"({args.block} B blocks)")
+    print(f"throughput   : {result.sustained_mbps:.1f} MB/s sustained "
+          f"({result.throughput_mbps:.1f} full-span)")
+    print(f"IOPS         : {result.iops:.0f}")
+    print(f"latency      : mean {result.mean_latency_us:.1f} us, "
+          f"p50 {result.p50_latency_us:.1f}, p95 {result.p95_latency_us:.1f}, "
+          f"p99 {result.p99_latency_us:.1f}")
+    for name, value in result.utilizations.items():
+        print(f"utilization  : {name:<10} {value:6.1%}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .core import generate_report
+    configs = _parse_configs(args.configs) if args.configs else None
+    text = generate_report(n_commands=args.commands, configs=configs,
+                           include_fig4=not args.skip_fig4)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .host import sequential_write
+    names = _parse_configs(args.configs)
+    candidates = {name: arch for name, arch in table2_configs().items()
+                  if name in names}
+    explorer = DesignSpaceExplorer(cost_model=ResourceCostModel(),
+                                   max_commands=args.commands)
+    result = explorer.explore(candidates, sequential_write(4096 *
+                                                           args.commands))
+    print(render_breakdown_table({p.name: p.row for p in result.points}))
+    print()
+    print(f"target: {result.target_mbps:.1f} MB/s")
+    for point in result.points:
+        flag = "meets target" if point.meets_target else "below target"
+        print(f"  {point.name:<4} cost {point.cost:7.0f}  "
+              f"{point.measured_mbps:8.1f} MB/s  ({flag})")
+    optimal = result.optimal
+    if optimal is not None:
+        print(f"optimal design point: {optimal.name} ({optimal.arch.label})")
+    else:
+        fallback = result.cheapest_within()
+        print("no point meets the target; cheapest near-best: "
+              f"{fallback.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SSDExplorer reproduction — experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("features", help="Table I feature matrix") \
+        .set_defaults(func=cmd_features)
+
+    validate = sub.add_parser("validate", help="Fig. 2 validation")
+    validate.add_argument("--commands", type=int, default=800)
+    validate.set_defaults(func=cmd_validate)
+
+    for name, func, help_text in (
+            ("fig3", cmd_fig3, "Fig. 3 SATA sweep"),
+            ("fig4", cmd_fig4, "Fig. 4 PCIe/NVMe sweep")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--commands", type=int, default=2000)
+        p.add_argument("--configs", type=str, default="",
+                       help="comma-separated subset of C1..C10")
+        p.set_defaults(func=func)
+
+    fig5 = sub.add_parser("fig5", help="Fig. 5 wear-out sweep")
+    fig5.add_argument("--commands", type=int, default=400)
+    fig5.add_argument("--steps", type=int, default=10)
+    fig5.set_defaults(func=cmd_fig5)
+
+    fig6 = sub.add_parser("fig6", help="Fig. 6 simulation speed")
+    fig6.add_argument("--commands", type=int, default=400)
+    fig6.set_defaults(func=cmd_fig6)
+
+    run = sub.add_parser("run", help="run one architecture/workload")
+    run.add_argument("--config", type=str, default="",
+                     help="architecture config file (flat or JSON)")
+    run.add_argument("--workload", type=str, default="SW",
+                     help="SW | SR | RW | RR")
+    run.add_argument("--commands", type=int, default=1000)
+    run.add_argument("--block", type=int, default=4096)
+    run.add_argument("--warm", action="store_true",
+                     help="warm-start the write cache")
+    run.add_argument("--json", action="store_true",
+                     help="emit the result as JSON")
+    run.set_defaults(func=cmd_run)
+
+    report = sub.add_parser("report", help="run everything, emit markdown")
+    report.add_argument("--commands", type=int, default=800)
+    report.add_argument("--configs", type=str, default="")
+    report.add_argument("--out", type=str, default="")
+    report.add_argument("--skip-fig4", action="store_true")
+    report.set_defaults(func=cmd_report)
+
+    explore = sub.add_parser("explore", help="design-space exploration")
+    explore.add_argument("--configs", type=str, default="")
+    explore.add_argument("--commands", type=int, default=1000)
+    explore.set_defaults(func=cmd_explore)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Compression subsystem.
+
+A real, self-contained DEFLATE-style codec (LZ77 hash-chain matcher +
+canonical Huffman over the RFC 1951 alphabets) used to back-annotate the
+parametric-time-delay GZIP engine model, which is what the SSD data path
+instantiates (host-side or channel-side, per the paper).
+"""
+
+from .bitio import BitReader, BitWriter
+from .deflate import (compress, compression_ratio, decompress,
+                      distance_to_symbol, length_to_symbol)
+from .engine import CompressorModel, CompressorPlacement, synthetic_page
+from .huffman import (HuffmanDecoder, HuffmanEncoder, canonical_codes,
+                      code_lengths_from_frequencies)
+from .lz77 import Literal, Match, detokenize, tokenize
+
+__all__ = [
+    "BitReader", "BitWriter", "CompressorModel", "CompressorPlacement",
+    "HuffmanDecoder", "HuffmanEncoder", "Literal", "Match",
+    "canonical_codes", "code_lengths_from_frequencies", "compress",
+    "compression_ratio", "decompress", "detokenize", "distance_to_symbol",
+    "length_to_symbol", "synthetic_page", "tokenize",
+]

@@ -1,0 +1,80 @@
+"""Bit-level I/O used by the Huffman coder (LSB-first, DEFLATE style)."""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits least-significant-first into a byte stream."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._filled = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append the low ``count`` bits of ``value``."""
+        if count < 0:
+            raise ValueError(f"bit count must be >= 0, got {count}")
+        if value < 0 or (count < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {count} bits")
+        self._current |= value << self._filled
+        self._filled += count
+        while self._filled >= 8:
+            self._buffer.append(self._current & 0xFF)
+            self._current >>= 8
+            self._filled -= 8
+
+    def write_huffman(self, code: int, length: int) -> None:
+        """Append a Huffman code (stored MSB-first per canonical convention)."""
+        # Reverse the bits so the decoder can read LSB-first.
+        reversed_code = 0
+        for __ in range(length):
+            reversed_code = (reversed_code << 1) | (code & 1)
+            code >>= 1
+        self.write_bits(reversed_code, length)
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padding the final byte) and return the stream."""
+        result = bytearray(self._buffer)
+        if self._filled:
+            result.append(self._current & 0xFF)
+        return bytes(result)
+
+    def bit_length(self) -> int:
+        """Exact number of bits written so far."""
+        return len(self._buffer) * 8 + self._filled
+
+
+class BitReader:
+    """Reads bits least-significant-first from a byte stream."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._position = 0  # bit cursor
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits; raises EOFError past the end."""
+        if count < 0:
+            raise ValueError(f"bit count must be >= 0, got {count}")
+        end = self._position + count
+        if end > len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        value = 0
+        for offset in range(count):
+            bit_index = self._position + offset
+            bit = (self._data[bit_index >> 3] >> (bit_index & 7)) & 1
+            value |= bit << offset
+        self._position = end
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        if self._position >= len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        bit = (self._data[self._position >> 3] >> (self._position & 7)) & 1
+        self._position += 1
+        return bit
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._position

@@ -1,0 +1,150 @@
+"""A self-contained DEFLATE-style compressor.
+
+Combines the LZ77 tokenizer with canonical Huffman coding using the real
+DEFLATE length/distance symbol alphabets (RFC 1951 tables).  The container
+format is our own (code lengths are stored verbatim in a small header
+rather than Huffman-compressed as RFC 1951 does), because the goal is a
+faithful *model* of a hardware GZIP engine's two stages — dictionary and
+entropy — with measurable ratios, not interoperability with gzip files.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .bitio import BitReader, BitWriter
+from .huffman import HuffmanDecoder, HuffmanEncoder
+from .lz77 import Literal, Match, Token, detokenize, tokenize
+
+END_OF_BLOCK = 256
+NUM_LITLEN_SYMBOLS = 286
+NUM_DIST_SYMBOLS = 30
+
+# RFC 1951 length code table: (base_length, extra_bits) for codes 257..285.
+LENGTH_TABLE: List[Tuple[int, int]] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1), (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3), (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5), (258, 0),
+]
+
+# RFC 1951 distance code table: (base_distance, extra_bits) for codes 0..29.
+DISTANCE_TABLE: List[Tuple[int, int]] = [
+    (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4), (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8), (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10), (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+]
+
+
+def length_to_symbol(length: int) -> Tuple[int, int, int]:
+    """Map a match length to (symbol, extra_bits, extra_value)."""
+    if not 3 <= length <= 258:
+        raise ValueError(f"match length {length} outside [3, 258]")
+    for index in range(len(LENGTH_TABLE) - 1, -1, -1):
+        base, extra = LENGTH_TABLE[index]
+        if length >= base:
+            return 257 + index, extra, length - base
+    raise AssertionError("unreachable")
+
+
+def distance_to_symbol(distance: int) -> Tuple[int, int, int]:
+    """Map a match distance to (symbol, extra_bits, extra_value)."""
+    if not 1 <= distance <= 32768:
+        raise ValueError(f"distance {distance} outside [1, 32768]")
+    for index in range(len(DISTANCE_TABLE) - 1, -1, -1):
+        base, extra = DISTANCE_TABLE[index]
+        if distance >= base:
+            return index, extra, distance - base
+    raise AssertionError("unreachable")
+
+
+def compress(data: bytes, max_chain: int = 64) -> bytes:
+    """Compress ``data``; always round-trips through :func:`decompress`.
+
+    Layout: 4-byte little-endian original size, 286 + 30 bytes of code
+    lengths, then the Huffman bit stream.
+    """
+    tokens = tokenize(data, max_chain=max_chain)
+
+    litlen_freq = [0] * NUM_LITLEN_SYMBOLS
+    dist_freq = [0] * NUM_DIST_SYMBOLS
+    litlen_freq[END_OF_BLOCK] = 1
+    for token in tokens:
+        if isinstance(token, Literal):
+            litlen_freq[token.byte] += 1
+        else:
+            symbol, __, __ = length_to_symbol(token.length)
+            litlen_freq[symbol] += 1
+            dsymbol, __, __ = distance_to_symbol(token.distance)
+            dist_freq[dsymbol] += 1
+
+    litlen_encoder = HuffmanEncoder(litlen_freq)
+    dist_encoder = HuffmanEncoder(dist_freq)
+
+    writer = BitWriter()
+    for token in tokens:
+        if isinstance(token, Literal):
+            litlen_encoder.encode_symbol(writer, token.byte)
+        else:
+            symbol, extra_bits, extra_value = length_to_symbol(token.length)
+            litlen_encoder.encode_symbol(writer, symbol)
+            if extra_bits:
+                writer.write_bits(extra_value, extra_bits)
+            dsymbol, dextra_bits, dextra_value = distance_to_symbol(
+                token.distance)
+            dist_encoder.encode_symbol(writer, dsymbol)
+            if dextra_bits:
+                writer.write_bits(dextra_value, dextra_bits)
+    litlen_encoder.encode_symbol(writer, END_OF_BLOCK)
+
+    header = bytearray()
+    header += len(data).to_bytes(4, "little")
+    header += bytes(litlen_encoder.lengths)
+    header += bytes(dist_encoder.lengths)
+    return bytes(header) + writer.getvalue()
+
+
+def decompress(blob: bytes) -> bytes:
+    """Invert :func:`compress`."""
+    header_size = 4 + NUM_LITLEN_SYMBOLS + NUM_DIST_SYMBOLS
+    if len(blob) < header_size:
+        raise ValueError("compressed blob too short")
+    original_size = int.from_bytes(blob[:4], "little")
+    litlen_lengths = list(blob[4:4 + NUM_LITLEN_SYMBOLS])
+    dist_lengths = list(blob[4 + NUM_LITLEN_SYMBOLS:header_size])
+    litlen_decoder = HuffmanDecoder(litlen_lengths)
+    dist_decoder = HuffmanDecoder(dist_lengths)
+    reader = BitReader(blob[header_size:])
+
+    tokens: List[Token] = []
+    produced = 0
+    while True:
+        symbol = litlen_decoder.decode_symbol(reader)
+        if symbol == END_OF_BLOCK:
+            break
+        if symbol < 256:
+            tokens.append(Literal(symbol))
+            produced += 1
+            continue
+        base, extra_bits = LENGTH_TABLE[symbol - 257]
+        length = base + (reader.read_bits(extra_bits) if extra_bits else 0)
+        dsymbol = dist_decoder.decode_symbol(reader)
+        dbase, dextra_bits = DISTANCE_TABLE[dsymbol]
+        distance = dbase + (reader.read_bits(dextra_bits) if dextra_bits else 0)
+        tokens.append(Match(length, distance))
+        produced += length
+
+    data = detokenize(tokens)
+    if len(data) != original_size:
+        raise ValueError(
+            f"decompressed size {len(data)} != header size {original_size}")
+    return data
+
+
+def compression_ratio(data: bytes, max_chain: int = 64) -> float:
+    """Original/compressed size ratio (>= values mean better compression)."""
+    if not data:
+        return 1.0
+    return len(data) / len(compress(data, max_chain=max_chain))

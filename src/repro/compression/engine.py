@@ -1,0 +1,125 @@
+"""Parametric-time-delay model of a hardware compression engine.
+
+Paper, Section III-D1: "SSDExplorer is able to reproduce the timing of a
+hardware GZIP engine starting from a chosen compression placement.
+Compressors can be placed either between the host interface and the DRAM
+buffer (i.e., Host interface compressor) or between the DRAM buffer and
+the channel/way controller (i.e., Channel/Way compressor)."
+
+The quality metrics are exactly the two the paper names — **compression
+ratio** and **output bandwidth** — plus a fixed pipeline-fill latency.
+Ratios can be pinned by the user or back-annotated by running the real
+mini-DEFLATE (:mod:`repro.compression.deflate`) over representative data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..kernel.simtime import us
+from . import deflate
+
+
+class CompressorPlacement(enum.Enum):
+    """Where the engine sits in the data path."""
+
+    NONE = "none"
+    HOST_INTERFACE = "host"       # between host IF and DRAM buffers
+    CHANNEL_WAY = "channel"       # between DRAM buffers and channel ctrl
+
+
+@dataclass(frozen=True)
+class CompressorModel:
+    """PTD model: ratio + bandwidth + fixed latency.
+
+    A ratio of 2.0 means the payload shrinks to half before hitting the
+    next stage; incompressible traffic uses ratio 1.0.  Hardware GZIP
+    engines of the paper's era sustain a few hundred MB/s; the default is
+    400 MB/s with a 2 us pipeline-fill latency.
+    """
+
+    placement: CompressorPlacement = CompressorPlacement.NONE
+    ratio: float = 1.0
+    bandwidth_mbps: float = 400.0
+    fixed_latency_ps: int = us(2)
+
+    def __post_init__(self) -> None:
+        if self.ratio < 1.0:
+            raise ValueError(
+                f"ratio must be >= 1.0 (expansion is clamped upstream), "
+                f"got {self.ratio}")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        if self.fixed_latency_ps < 0:
+            raise ValueError("fixed_latency_ps must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.placement is not CompressorPlacement.NONE
+
+    def output_bytes(self, input_bytes: int) -> int:
+        """Payload size after compression (at least one byte for non-empty
+        input — headers never vanish)."""
+        if input_bytes < 0:
+            raise ValueError("input_bytes must be >= 0")
+        if input_bytes == 0 or not self.enabled:
+            return input_bytes
+        return max(1, int(round(input_bytes / self.ratio)))
+
+    def latency_ps(self, input_bytes: int) -> int:
+        """Time for the engine to stream ``input_bytes`` through."""
+        if input_bytes < 0:
+            raise ValueError("input_bytes must be >= 0")
+        if not self.enabled or input_bytes == 0:
+            return 0
+        streaming_ps = int(round(input_bytes / (self.bandwidth_mbps * 1e6)
+                                 * 1e12))
+        return self.fixed_latency_ps + streaming_ps
+
+    def with_measured_ratio(self, sample: bytes,
+                            max_chain: int = 64) -> "CompressorModel":
+        """Back-annotate the ratio by compressing representative data with
+        the real mini-DEFLATE codec."""
+        measured = max(1.0, deflate.compression_ratio(sample,
+                                                      max_chain=max_chain))
+        return CompressorModel(self.placement, measured,
+                               self.bandwidth_mbps, self.fixed_latency_ps)
+
+
+def synthetic_page(kind: str, size: int = 4096, seed: int = 0) -> bytes:
+    """Generate test payloads with controlled compressibility.
+
+    ``kind`` is one of:
+
+    * ``"zeros"`` — maximally compressible,
+    * ``"text"``  — log-like ASCII, compresses well (~3-4x),
+    * ``"binary"`` — structured binary with repeats (~1.5-2x),
+    * ``"random"`` — incompressible (already-encrypted/compressed data).
+    """
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    if kind == "zeros":
+        return bytes(size)
+    if kind == "text":
+        words = [b"INFO", b"WARN", b"read", b"write", b"sector", b"cache",
+                 b"flush", b"queue", b"host", b"nand"]
+        state = seed * 2654435761 % 2**32 or 1
+        out = bytearray()
+        while len(out) < size:
+            state = (state * 1103515245 + 12345) % 2**31
+            out += words[state % len(words)]
+            out += b"=%d " % (state % 1000)
+        return bytes(out[:size])
+    if kind == "binary":
+        record = bytes(range(32)) + (seed % 256).to_bytes(1, "little") * 15
+        pattern = record * (size // len(record) + 1)
+        return pattern[:size]
+    if kind == "random":
+        state = seed or 0x9E3779B9
+        out = bytearray()
+        while len(out) < size:
+            state = (state * 6364136223846793005 + 1442695040888963407) % 2**64
+            out += state.to_bytes(8, "little")
+        return bytes(out[:size])
+    raise ValueError(f"unknown payload kind {kind!r}")

@@ -1,0 +1,136 @@
+"""Canonical Huffman coding (the entropy stage of the GZIP engine model)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+from .bitio import BitReader, BitWriter
+
+MAX_CODE_LENGTH = 15
+
+
+def code_lengths_from_frequencies(frequencies: Sequence[int],
+                                  max_length: int = MAX_CODE_LENGTH) -> List[int]:
+    """Compute Huffman code lengths for each symbol.
+
+    Standard package-style construction via a heap, followed by a
+    length-limiting pass (simple Kraft-sum repair) so no code exceeds
+    ``max_length`` — a constraint every hardware Huffman engine has.
+    """
+    active = [(freq, symbol) for symbol, freq in enumerate(frequencies)
+              if freq > 0]
+    lengths = [0] * len(frequencies)
+    if not active:
+        return lengths
+    if len(active) == 1:
+        lengths[active[0][1]] = 1
+        return lengths
+
+    heap: List[Tuple[int, int, object]] = []
+    for order, (freq, symbol) in enumerate(active):
+        heapq.heappush(heap, (freq, order, symbol))
+    counter = len(active)
+    parents: Dict[object, object] = {}
+    while len(heap) > 1:
+        freq_a, __, node_a = heapq.heappop(heap)
+        freq_b, __, node_b = heapq.heappop(heap)
+        counter += 1
+        internal = ("internal", counter)
+        parents[node_a] = internal
+        parents[node_b] = internal
+        heapq.heappush(heap, (freq_a + freq_b, counter, internal))
+    root = heap[0][2]
+
+    for __, symbol in active:
+        depth = 0
+        node: object = symbol
+        while node is not root:
+            node = parents[node]
+            depth += 1
+        lengths[symbol] = depth
+
+    _limit_lengths(lengths, max_length)
+    return lengths
+
+
+def _limit_lengths(lengths: List[int], max_length: int) -> None:
+    """Clamp code lengths and repair the Kraft inequality."""
+    overflow = False
+    for index, length in enumerate(lengths):
+        if length > max_length:
+            lengths[index] = max_length
+            overflow = True
+    if not overflow:
+        return
+    # Kraft sum must be <= 1 (== 2^max_length in fixed point).
+    kraft = sum(1 << (max_length - length)
+                for length in lengths if length > 0)
+    budget = 1 << max_length
+    # Lengthen the shortest over-budget codes until the sum fits.
+    while kraft > budget:
+        for target in range(max_length - 1, 0, -1):
+            candidates = [i for i, length in enumerate(lengths)
+                          if length == target]
+            if candidates:
+                lengths[candidates[-1]] += 1
+                kraft -= 1 << (max_length - target - 1)
+                break
+        else:
+            raise ValueError("cannot satisfy Kraft inequality")
+
+
+def canonical_codes(lengths: Sequence[int]) -> List[int]:
+    """Assign canonical codes (numerically increasing within each length)."""
+    max_len = max(lengths) if lengths else 0
+    length_counts = [0] * (max_len + 1)
+    for length in lengths:
+        if length:
+            length_counts[length] += 1
+    next_code = [0] * (max_len + 2)
+    code = 0
+    for bits in range(1, max_len + 1):
+        code = (code + length_counts[bits - 1]) << 1
+        next_code[bits] = code
+    codes = [0] * len(lengths)
+    for symbol, length in enumerate(lengths):
+        if length:
+            codes[symbol] = next_code[length]
+            next_code[length] += 1
+    return codes
+
+
+class HuffmanEncoder:
+    """Encodes symbols using canonical codes derived from frequencies."""
+
+    def __init__(self, frequencies: Sequence[int]):
+        self.lengths = code_lengths_from_frequencies(frequencies)
+        self.codes = canonical_codes(self.lengths)
+
+    def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
+        length = self.lengths[symbol]
+        if length == 0:
+            raise ValueError(f"symbol {symbol} has no code (zero frequency)")
+        writer.write_huffman(self.codes[symbol], length)
+
+
+class HuffmanDecoder:
+    """Decodes a canonical-Huffman bit stream via a binary code tree."""
+
+    def __init__(self, lengths: Sequence[int]):
+        self.lengths = list(lengths)
+        codes = canonical_codes(lengths)
+        # Build a flat binary tree in a dict: node -> (left, right)/symbol.
+        self._tree: Dict[Tuple[int, int], int] = {}
+        for symbol, length in enumerate(lengths):
+            if length:
+                self._tree[(length, codes[symbol])] = symbol
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        code = 0
+        for length in range(1, MAX_CODE_LENGTH + 1):
+            code = (code << 1) | reader.read_bit()
+            symbol = self._tree.get((length, code))
+            if symbol is not None:
+                return symbol
+        raise ValueError("invalid Huffman code in stream")

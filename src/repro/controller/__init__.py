@@ -1,0 +1,6 @@
+"""Channel/way controller subsystem (ONFI port, PP-DMA, SRAM, ECC, gangs)."""
+
+from .channel import ChannelWayController
+from .gang import ChannelBuses, GangScheme
+
+__all__ = ["ChannelBuses", "ChannelWayController", "GangScheme"]

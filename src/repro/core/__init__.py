@@ -1,0 +1,45 @@
+"""The fine-grained design-space exploration (FGDSE) layer.
+
+The explorer sweeps architectures against workloads and ranks feasible
+design points by resource cost; the experiments module pins down every
+table and figure of the paper; validation, speed and features reproduce
+Fig. 2, Fig. 6 and Table I respectively.
+"""
+
+from .experiments import (TABLE2_LABELS, TABLE3_LABELS, fig3_sweep,
+                          fig3_workload, fig4_sweep, fig5_architecture,
+                          fig5_wearout_sweep, table2_configs,
+                          table3_configs, validation_config)
+from .explorer import (DesignPoint, DesignSpaceExplorer, ExplorationResult,
+                       ResourceCostModel, generate_design_space)
+from .fullreport import generate_report
+from .features import (CAPABILITY_CHECKS, FEATURE_MATRIX, PLATFORMS,
+                       SIMULATION_SPEED, render_table,
+                       verify_ssdexplorer_column)
+from .report import (render_breakdown_table, render_series_table,
+                     render_speed_table, render_validation_table)
+from .sensitivity import (SensitivityCurve, SensitivityPoint,
+                          bottleneck_report, render_sensitivity_table,
+                          sweep_parameter)
+from .speed import (PLATFORM_CLOCK_HZ, SpeedSample, measure_speed,
+                    speed_sweep)
+from .validation import (PAPER_ERROR_MARGINS, REFERENCE_MBPS,
+                         ValidationPoint, run_validation)
+
+__all__ = [
+    "CAPABILITY_CHECKS", "DesignPoint", "DesignSpaceExplorer",
+    "ExplorationResult", "FEATURE_MATRIX", "PAPER_ERROR_MARGINS",
+    "PLATFORMS", "PLATFORM_CLOCK_HZ", "REFERENCE_MBPS",
+    "ResourceCostModel", "SIMULATION_SPEED", "SensitivityCurve",
+    "SensitivityPoint", "SpeedSample", "bottleneck_report",
+    "render_sensitivity_table", "sweep_parameter",
+    "TABLE2_LABELS", "TABLE3_LABELS", "ValidationPoint", "fig3_sweep",
+    "fig3_workload", "fig4_sweep", "fig5_architecture",
+    "fig5_wearout_sweep", "generate_design_space", "generate_report",
+    "measure_speed",
+    "render_breakdown_table",
+    "render_series_table", "render_speed_table", "render_table",
+    "render_validation_table", "run_validation", "speed_sweep",
+    "table2_configs", "table3_configs", "validation_config",
+    "verify_ssdexplorer_column",
+]

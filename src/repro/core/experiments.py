@@ -1,0 +1,151 @@
+"""Canonical experiment definitions: the paper's tables and figures.
+
+Everything the benchmark harness regenerates lives here so that tests,
+benches and examples share one source of truth:
+
+* :data:`TABLE2_CONFIGS` — the ten design points of Table II (Fig. 3/4),
+* :data:`TABLE3_CONFIGS` — the eight configurations of Table III (Fig. 6),
+* :func:`fig3_sweep` / :func:`fig4_sweep` — the host-interface studies,
+* :func:`fig5_wearout_sweep` — fixed vs adaptive BCH over endurance,
+* :func:`validation_config` — the barefoot-like instance behind Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ecc import AdaptiveBch, FixedBch
+from ..host.interface import pcie_nvme_spec, sata2_spec
+from ..host.workload import (Workload, sequential_read, sequential_write)
+from ..ssd.architecture import SsdArchitecture, parse_geometry_label
+from ..ssd.scenarios import BreakdownRow, breakdown, measure
+
+#: Table II of the paper: "SSD CONFIGURATIONS" for Fig. 3 and Fig. 4.
+TABLE2_LABELS: Dict[str, str] = {
+    "C1": "4-DDR-buf;4-CHN;4-WAY;2-DIE",
+    "C2": "8-DDR-buf;8-CHN;4-WAY;2-DIE",
+    "C3": "8-DDR-buf;8-CHN;8-WAY;2-DIE",
+    "C4": "8-DDR-buf;8-CHN;8-WAY;4-DIE",
+    "C5": "8-DDR-buf;8-CHN;8-WAY;8-DIE",
+    "C6": "16-DDR-buf;16-CHN;8-WAY;4-DIE",
+    "C7": "16-DDR-buf;16-CHN;4-WAY;2-DIE",
+    "C8": "32-DDR-buf;32-CHN;4-WAY;2-DIE",
+    "C9": "32-DDR-buf;32-CHN;1-WAY;1-DIE",
+    "C10": "32-DDR-buf;32-CHN;8-WAY;4-DIE",
+}
+
+#: Table III of the paper: configurations for the simulation-speed study.
+TABLE3_LABELS: Dict[str, str] = {
+    "C1": "1-DDR-buf;1-CHN;1-WAY;1-DIE",
+    "C2": "1-DDR-buf;2-CHN;1-WAY;2-DIE",
+    "C3": "1-DDR-buf;4-CHN;1-WAY;2-DIE",
+    "C4": "1-DDR-buf;4-CHN;2-WAY;4-DIE",
+    "C5": "4-DDR-buf;4-CHN;2-WAY;4-DIE",
+    "C6": "4-DDR-buf;4-CHN;2-WAY;8-DIE",
+    "C7": "4-DDR-buf;4-CHN;2-WAY;16-DIE",
+    "C8": "32-DDR-buf;32-CHN;16-WAY;16-DIE",
+}
+
+
+def _architectures(labels: Dict[str, str],
+                   base: Optional[SsdArchitecture] = None
+                   ) -> Dict[str, SsdArchitecture]:
+    base = base or SsdArchitecture()
+    return {name: base.scaled(**parse_geometry_label(label))
+            for name, label in labels.items()}
+
+
+def table2_configs(base: Optional[SsdArchitecture] = None
+                   ) -> Dict[str, SsdArchitecture]:
+    """The ten Table II architectures, on a common base."""
+    return _architectures(TABLE2_LABELS, base)
+
+
+def table3_configs(base: Optional[SsdArchitecture] = None
+                   ) -> Dict[str, SsdArchitecture]:
+    """The eight Table III architectures, on a common base."""
+    return _architectures(TABLE3_LABELS, base)
+
+
+#: Workload of the Fig. 3/4 experiments: sequential write, 4 KiB payloads.
+def fig3_workload(n_commands: int = 2000) -> Workload:
+    return sequential_write(4096 * n_commands)
+
+
+def fig3_sweep(n_commands: int = 2000,
+               configs: Optional[List[str]] = None
+               ) -> Dict[str, BreakdownRow]:
+    """Fig. 3: sequential write over Table II with the SATA II interface."""
+    base = SsdArchitecture(host=sata2_spec())
+    workload = fig3_workload(n_commands)
+    selected = configs or list(TABLE2_LABELS)
+    rows = {}
+    for name, arch in table2_configs(base).items():
+        if name in selected:
+            rows[name] = breakdown(arch, workload)
+    return rows
+
+
+def fig4_sweep(n_commands: int = 2000,
+               configs: Optional[List[str]] = None
+               ) -> Dict[str, BreakdownRow]:
+    """Fig. 4: the same study with PCIe Gen2 x8 + NVMe (64K commands)."""
+    base = SsdArchitecture(host=pcie_nvme_spec(generation=2, lanes=8))
+    workload = fig3_workload(n_commands)
+    selected = configs or list(TABLE2_LABELS)
+    rows = {}
+    for name, arch in table2_configs(base).items():
+        if name in selected:
+            rows[name] = breakdown(arch, workload)
+    return rows
+
+
+#: Fig. 5 architecture: "both 4 channels 2 ways and 4 dies".
+def fig5_architecture(ecc, normalized_endurance: float) -> SsdArchitecture:
+    arch = SsdArchitecture(n_ddr_buffers=4, n_channels=4, n_ways=2,
+                           dies_per_way=4, ecc=ecc)
+    pe = arch.wear_model.pe_for_normalized(normalized_endurance)
+    return arch.scaled(initial_pe_cycles=pe)
+
+
+def fig5_wearout_sweep(fractions: Optional[List[float]] = None,
+                       n_commands: int = 400
+                       ) -> Dict[str, List[Tuple[float, float]]]:
+    """Fig. 5: throughput vs normalized rated endurance.
+
+    Returns four series keyed 'fixed-read', 'adaptive-read',
+    'fixed-write', 'adaptive-write' as (fraction, MB/s) points.
+    """
+    fractions = fractions if fractions is not None \
+        else [i / 10 for i in range(11)]
+    series: Dict[str, List[Tuple[float, float]]] = {
+        "fixed-read": [], "adaptive-read": [],
+        "fixed-write": [], "adaptive-write": [],
+    }
+    read_wl = sequential_read(4096 * n_commands)
+    write_wl = sequential_write(4096 * n_commands)
+    for fraction in fractions:
+        for scheme_name, ecc in (("fixed", FixedBch()),
+                                 ("adaptive", AdaptiveBch())):
+            arch = fig5_architecture(ecc, fraction)
+            read = measure(arch, read_wl,
+                           label=f"fig5/{scheme_name}/read/{fraction}")
+            write = measure(arch, write_wl, warm_start=True,
+                            label=f"fig5/{scheme_name}/write/{fraction}")
+            series[f"{scheme_name}-read"].append(
+                (fraction, read.sustained_mbps))
+            series[f"{scheme_name}-write"].append(
+                (fraction, write.sustained_mbps))
+    return series
+
+
+def validation_config() -> SsdArchitecture:
+    """The barefoot-controller-like instance validated in Fig. 2.
+
+    The Indilinx Barefoot generation: SATA II with NCQ, 4 channels with
+    deep way interleaving, DRAM write cache enabled, fixed BCH.
+    """
+    return SsdArchitecture(
+        n_ddr_buffers=4, n_channels=4, n_ways=4, dies_per_way=2,
+        host=sata2_spec(), ecc=FixedBch(t=8),
+    )

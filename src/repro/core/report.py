@@ -1,0 +1,59 @@
+"""Plain-text report rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..ssd.scenarios import BreakdownRow
+from .speed import SpeedSample
+
+
+def render_breakdown_table(rows: Dict[str, BreakdownRow]) -> str:
+    """Render a Fig. 3/4 style table: one row per configuration."""
+    columns = ["DDR+FLASH", "SSD cache", "SSD no cache", "HOST ideal",
+               "HOST+DDR"]
+    header = "Config".ljust(8) + "".join(c.rjust(14) for c in columns)
+    lines = [header, "-" * len(header)]
+    for name, row in rows.items():
+        values = row.as_dict()
+        lines.append(name.ljust(8) + "".join(
+            f"{values[c]:14.1f}" for c in columns))
+    return "\n".join(lines)
+
+
+def render_series_table(series: Dict[str, List[Tuple[float, float]]],
+                        x_label: str = "endurance") -> str:
+    """Render Fig. 5 style series: one column per series."""
+    names = list(series)
+    xs = [x for x, __ in series[names[0]]]
+    header = x_label.ljust(12) + "".join(name.rjust(16) for name in names)
+    lines = [header, "-" * len(header)]
+    for index, x in enumerate(xs):
+        cells = "".join(f"{series[name][index][1]:16.1f}" for name in names)
+        lines.append(f"{x:<12.2f}" + cells)
+    return "\n".join(lines)
+
+
+def render_speed_table(samples: Dict[str, SpeedSample]) -> str:
+    """Render Fig. 6: KCPS per configuration."""
+    header = "Config".ljust(8) + "KCPS".rjust(12) + "events/s".rjust(14) \
+        + "wall s".rjust(10)
+    lines = [header, "-" * len(header)]
+    for name, sample in samples.items():
+        lines.append(name.ljust(8) + f"{sample.kcps:12.1f}"
+                     + f"{sample.events_per_second:14.0f}"
+                     + f"{sample.wall_seconds:10.2f}")
+    return "\n".join(lines)
+
+
+def render_validation_table(points: Dict) -> str:
+    """Render Fig. 2: simulator vs reference device."""
+    header = ("Workload".ljust(10) + "SSDExplorer".rjust(14)
+              + "Reference".rjust(14) + "Error %".rjust(10))
+    lines = [header, "-" * len(header)]
+    for name, point in points.items():
+        lines.append(name.ljust(10)
+                     + f"{point.simulated_mbps:14.1f}"
+                     + f"{point.reference_mbps:14.1f}"
+                     + f"{point.relative_error * 100:10.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Fig. 6: simulation speed in kilo-cycles per second (KCPS).
+
+The paper measures how many kilo-cycles of the simulated 200 MHz platform
+clock the simulator advances per wall-clock second, across the Table III
+configurations, and shows the speed scaling inversely with the number of
+instantiated resources.  We measure exactly the same quantity for this
+kernel; absolute values are host- and implementation-dependent (theirs:
+a 2.27 GHz Xeon running SystemC), the inverse scaling is the claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..host.workload import sequential_write
+from ..kernel import Simulator
+from ..kernel.simtime import period_from_hz
+from ..ssd.architecture import SsdArchitecture
+from ..ssd.device import SsdDevice
+from ..ssd.metrics import run_workload
+
+#: The platform reference clock whose cycles KCPS counts (the CPU/AHB
+#: clock of the modeled controller).
+PLATFORM_CLOCK_HZ = 200e6
+
+
+@dataclass
+class SpeedSample:
+    """One configuration's simulation-speed measurement."""
+
+    label: str
+    simulated_cycles: float
+    wall_seconds: float
+    events: int
+
+    @property
+    def kcps(self) -> float:
+        """Kilo-cycles of simulated platform clock per wall second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.simulated_cycles / 1e3 / self.wall_seconds
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+
+def measure_speed(arch: SsdArchitecture, n_commands: int = 400,
+                  label: str = "") -> SpeedSample:
+    """Run a sequential-write burst and report KCPS."""
+    sim = Simulator()
+    device = SsdDevice(sim, arch)
+    workload = sequential_write(4096 * n_commands)
+    wall_start = time.perf_counter()
+    run_workload(sim, device, workload)
+    wall = time.perf_counter() - wall_start
+    cycles = sim.now / period_from_hz(PLATFORM_CLOCK_HZ)
+    return SpeedSample(label=label or arch.label,
+                       simulated_cycles=cycles,
+                       wall_seconds=wall,
+                       events=sim.events_processed)
+
+
+def speed_sweep(configs: Dict[str, SsdArchitecture],
+                n_commands: int = 400) -> Dict[str, SpeedSample]:
+    """Fig. 6 over a set of configurations (typically Table III)."""
+    return {name: measure_speed(arch, n_commands=n_commands, label=name)
+            for name, arch in configs.items()}

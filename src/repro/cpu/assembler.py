@@ -1,0 +1,175 @@
+"""Two-pass assembler for FW-RISC.
+
+Syntax (one instruction per line, ``;`` or ``#`` starts a comment)::
+
+    loop:                       ; label
+        ldr  r1, [r2 + 4]       ; load
+        add  r3, r1, 16         ; register-immediate ALU
+        str  r3, [r2 + 8]
+        bne  r1, r0, loop       ; conditional branch
+        halt
+
+Register aliases: ``lr`` (r14) and ``sp`` (r15).  Immediates accept
+decimal, hex (``0x..``) and binary (``0b..``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .isa import (Instruction, LINK_REGISTER, Opcode, Operand,
+                  STACK_POINTER)
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed assembly source."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_MEM_RE = re.compile(
+    r"^\[\s*(?P<base>\w+)\s*(?:\+\s*(?P<offset>-?\w+)\s*)?\]$")
+
+_ALU_OPS = {Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+            Opcode.SHL, Opcode.SHR, Opcode.MUL, Opcode.DIV}
+_COND_BRANCHES = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+
+
+def _parse_register(token: str, line_number: int) -> int:
+    lowered = token.lower()
+    if lowered == "lr":
+        return LINK_REGISTER
+    if lowered == "sp":
+        return STACK_POINTER
+    if lowered.startswith("r") and lowered[1:].isdigit():
+        index = int(lowered[1:])
+        if 0 <= index < 16:
+            return index
+    raise AssemblyError(line_number, f"invalid register {token!r}")
+
+
+def _parse_operand(token: str, line_number: int) -> Operand:
+    lowered = token.lower()
+    if (lowered in ("lr", "sp")
+            or (lowered.startswith("r") and lowered[1:].isdigit())):
+        return Operand.register(_parse_register(token, line_number))
+    try:
+        return Operand.immediate(int(token, 0))
+    except ValueError:
+        raise AssemblyError(line_number, f"invalid operand {token!r}") from None
+
+
+def _split_fields(body: str) -> List[str]:
+    # Split on commas first, then trim; memory operands keep their brackets.
+    return [field.strip() for field in body.split(",") if field.strip()]
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble source text into an executable instruction list."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    pending: List[tuple] = []  # (instruction index, label, line number)
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[;#]", raw_line, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            name = label_match.group(1)
+            if name in labels:
+                raise AssemblyError(line_number, f"duplicate label {name!r}")
+            labels[name] = len(instructions)
+            continue
+
+        mnemonic, __, body = line.partition(" ")
+        try:
+            opcode = Opcode(mnemonic.lower())
+        except ValueError:
+            raise AssemblyError(line_number,
+                                f"unknown mnemonic {mnemonic!r}") from None
+        fields = _split_fields(body)
+        instruction = _encode(opcode, fields, line_number)
+        if instruction.label is not None:
+            pending.append((len(instructions), instruction.label, line_number))
+        instructions.append(instruction)
+
+    resolved = list(instructions)
+    for index, label, line_number in pending:
+        if label not in labels:
+            raise AssemblyError(line_number, f"undefined label {label!r}")
+        resolved[index] = resolved[index]._replace(target=labels[label])
+    return resolved
+
+
+def _encode(opcode: Opcode, fields: List[str],
+            line_number: int) -> Instruction:
+    if opcode in (Opcode.NOP, Opcode.HALT, Opcode.WFI, Opcode.RET):
+        if fields:
+            raise AssemblyError(line_number,
+                                f"{opcode.value} takes no operands")
+        return Instruction(opcode)
+
+    if opcode is Opcode.MOV:
+        if len(fields) != 2:
+            raise AssemblyError(line_number, "mov needs: rd, (rs|imm)")
+        rd = _parse_register(fields[0], line_number)
+        return Instruction(opcode, rd=rd,
+                           operands=(_parse_operand(fields[1], line_number),))
+
+    if opcode in _ALU_OPS:
+        if len(fields) != 3:
+            raise AssemblyError(line_number,
+                                f"{opcode.value} needs: rd, rs, (rt|imm)")
+        rd = _parse_register(fields[0], line_number)
+        lhs = Operand.register(_parse_register(fields[1], line_number))
+        rhs = _parse_operand(fields[2], line_number)
+        return Instruction(opcode, rd=rd, operands=(lhs, rhs))
+
+    if opcode is Opcode.LDR:
+        if len(fields) != 2:
+            raise AssemblyError(line_number, "ldr needs: rd, [rs + imm]")
+        rd = _parse_register(fields[0], line_number)
+        base, offset = _parse_memory(fields[1], line_number)
+        return Instruction(opcode, rd=rd,
+                           operands=(Operand.register(base),
+                                     Operand.immediate(offset)))
+
+    if opcode is Opcode.STR:
+        if len(fields) != 2:
+            raise AssemblyError(line_number, "str needs: rs, [rd + imm]")
+        rs = _parse_register(fields[0], line_number)
+        base, offset = _parse_memory(fields[1], line_number)
+        return Instruction(opcode, rd=base,
+                           operands=(Operand.register(rs),
+                                     Operand.immediate(offset)))
+
+    if opcode in (Opcode.B, Opcode.BL):
+        if len(fields) != 1:
+            raise AssemblyError(line_number, f"{opcode.value} needs a label")
+        return Instruction(opcode, label=fields[0])
+
+    if opcode in _COND_BRANCHES:
+        if len(fields) != 3:
+            raise AssemblyError(line_number,
+                                f"{opcode.value} needs: rs, rt, label")
+        lhs = Operand.register(_parse_register(fields[0], line_number))
+        rhs = _parse_operand(fields[1], line_number)
+        return Instruction(opcode, operands=(lhs, rhs), label=fields[2])
+
+    raise AssemblyError(line_number, f"unhandled opcode {opcode}")
+
+
+def _parse_memory(token: str, line_number: int) -> tuple:
+    match = _MEM_RE.match(token)
+    if not match:
+        raise AssemblyError(line_number,
+                            f"invalid memory operand {token!r}")
+    base = _parse_register(match.group("base"), line_number)
+    offset_text = match.group("offset")
+    offset = int(offset_text, 0) if offset_text else 0
+    return base, offset

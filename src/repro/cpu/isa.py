@@ -1,0 +1,131 @@
+"""Instruction set of the embedded controller core.
+
+The paper's CPU is an ARM7TDMI modeled "pipeline-, pinout- and
+cycle-accurate".  We define FW-RISC, a compact load/store ISA with
+ARM7-like cycle costs (3-stage pipeline: 1-cycle ALU ops, multi-cycle
+loads/stores and taken branches), rich enough to express real SSD firmware
+— command fetch, FTL arithmetic, descriptor programming — while staying
+fully deterministic.
+
+Sixteen general registers ``r0..r15``; ``r14`` doubles as the link
+register (alias ``lr``), ``r15`` as the stack pointer (alias ``sp``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Optional, Tuple
+
+NUM_REGISTERS = 16
+LINK_REGISTER = 14
+STACK_POINTER = 15
+
+
+class Opcode(enum.Enum):
+    """FW-RISC opcodes."""
+
+    MOV = "mov"      # mov rd, (rs | imm)
+    ADD = "add"      # add rd, rs, (rt | imm)
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MUL = "mul"
+    DIV = "div"      # unsigned; div-by-zero traps
+    LDR = "ldr"      # ldr rd, [rs + imm]
+    STR = "str"      # str rs, [rd + imm]
+    B = "b"          # unconditional branch
+    BEQ = "beq"      # beq rs, rt, label
+    BNE = "bne"
+    BLT = "blt"      # unsigned less-than
+    BGE = "bge"
+    BL = "bl"        # call: lr <- return address
+    RET = "ret"      # pc <- lr
+    WFI = "wfi"      # wait for interrupt (doorbell)
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Base cycle cost per opcode (ARM7TDMI-flavored; memory ops add wait
+#: states from the memory system, branches add penalty only when taken).
+CYCLE_COSTS = {
+    Opcode.MOV: 1, Opcode.ADD: 1, Opcode.SUB: 1, Opcode.AND: 1,
+    Opcode.OR: 1, Opcode.XOR: 1, Opcode.SHL: 1, Opcode.SHR: 1,
+    Opcode.MUL: 3, Opcode.DIV: 6,
+    Opcode.LDR: 3, Opcode.STR: 2,
+    Opcode.B: 3, Opcode.BEQ: 1, Opcode.BNE: 1, Opcode.BLT: 1,
+    Opcode.BGE: 1, Opcode.BL: 3, Opcode.RET: 3,
+    Opcode.WFI: 1, Opcode.NOP: 1, Opcode.HALT: 1,
+}
+
+#: Extra cycles when a conditional branch is taken (pipeline flush).
+TAKEN_BRANCH_PENALTY = 2
+
+MASK32 = 0xFFFFFFFF
+
+
+class Operand(NamedTuple):
+    """Either a register index or an immediate value."""
+
+    is_register: bool
+    value: int
+
+    @classmethod
+    def register(cls, index: int) -> "Operand":
+        if not 0 <= index < NUM_REGISTERS:
+            raise ValueError(f"register index {index} out of range")
+        return cls(True, index)
+
+    @classmethod
+    def immediate(cls, value: int) -> "Operand":
+        return cls(False, value & MASK32)
+
+
+class Instruction(NamedTuple):
+    """One decoded instruction."""
+
+    opcode: Opcode
+    rd: Optional[int] = None             # destination / base register
+    operands: Tuple[Operand, ...] = ()
+    target: Optional[int] = None         # branch target (instruction index)
+    label: Optional[str] = None          # unresolved branch label
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        if self.rd is not None:
+            parts.append(f"r{self.rd}")
+        for operand in self.operands:
+            parts.append(f"r{operand.value}" if operand.is_register
+                         else str(operand.value))
+        if self.label is not None:
+            parts.append(self.label)
+        elif self.target is not None:
+            parts.append(f"@{self.target}")
+        return " ".join(parts)
+
+
+def alu_evaluate(opcode: Opcode, a: int, b: int) -> int:
+    """Evaluate a two-operand ALU operation on 32-bit unsigned values."""
+    if opcode is Opcode.ADD:
+        return (a + b) & MASK32
+    if opcode is Opcode.SUB:
+        return (a - b) & MASK32
+    if opcode is Opcode.AND:
+        return a & b
+    if opcode is Opcode.OR:
+        return a | b
+    if opcode is Opcode.XOR:
+        return a ^ b
+    if opcode is Opcode.SHL:
+        return (a << (b & 31)) & MASK32
+    if opcode is Opcode.SHR:
+        return (a & MASK32) >> (b & 31)
+    if opcode is Opcode.MUL:
+        return (a * b) & MASK32
+    if opcode is Opcode.DIV:
+        if b == 0:
+            raise ZeroDivisionError("firmware divide by zero")
+        return (a // b) & MASK32
+    raise ValueError(f"{opcode} is not an ALU opcode")

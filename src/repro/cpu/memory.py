@@ -1,0 +1,95 @@
+"""Memory system of the controller core: local SRAM plus an MMIO map.
+
+The paper's CPU owns a 16 MB SRAM; device registers (host interface
+doorbells, channel controller descriptor ports, FTL accelerator) are
+memory-mapped and reached through the AHB.  MMIO handlers are plain Python
+callables so platform components can expose registers without subclassing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+ReadHandler = Callable[[int], int]
+WriteHandler = Callable[[int, int], None]
+
+
+class MemoryFault(Exception):
+    """Access outside SRAM and every MMIO region."""
+
+
+class MmioRegion(NamedTuple):
+    """A device register window."""
+
+    base: int
+    size: int
+    read: Optional[ReadHandler]
+    write: Optional[WriteHandler]
+    #: AHB slave carrying this region (None = core-local register file).
+    ahb_slave: Optional[str]
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+
+class MemoryMap:
+    """SRAM + MMIO regions, word (32-bit) addressable."""
+
+    def __init__(self, sram_base: int = 0, sram_bytes: int = 16 << 20,
+                 sram_wait_cycles: int = 0):
+        if sram_bytes < 4 or sram_bytes % 4:
+            raise ValueError("sram_bytes must be a positive multiple of 4")
+        if sram_wait_cycles < 0:
+            raise ValueError("sram_wait_cycles must be >= 0")
+        self.sram_base = sram_base
+        self.sram_bytes = sram_bytes
+        self.sram_wait_cycles = sram_wait_cycles
+        self._sram: Dict[int, int] = {}
+        self._regions: List[MmioRegion] = []
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_mmio(self, base: int, size: int,
+                 read: Optional[ReadHandler] = None,
+                 write: Optional[WriteHandler] = None,
+                 ahb_slave: Optional[str] = None) -> MmioRegion:
+        """Register a device window; overlaps are rejected."""
+        if size < 4 or size % 4:
+            raise ValueError("MMIO size must be a positive multiple of 4")
+        new_region = MmioRegion(base, size, read, write, ahb_slave)
+        for region in self._regions:
+            if (base < region.base + region.size
+                    and region.base < base + size):
+                raise ValueError(
+                    f"MMIO region {base:#x}+{size:#x} overlaps "
+                    f"{region.base:#x}+{region.size:#x}")
+        if (base < self.sram_base + self.sram_bytes
+                and self.sram_base < base + size):
+            raise ValueError("MMIO region overlaps SRAM")
+        self._regions.append(new_region)
+        return new_region
+
+    def find_region(self, address: int) -> Optional[MmioRegion]:
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def in_sram(self, address: int) -> bool:
+        return self.sram_base <= address < self.sram_base + self.sram_bytes
+
+    # ------------------------------------------------------------------
+    # SRAM access (word aligned; sub-word handled by the core)
+    # ------------------------------------------------------------------
+    def sram_load(self, address: int) -> int:
+        self._check_sram(address)
+        return self._sram.get(address & ~3, 0)
+
+    def sram_store(self, address: int, value: int) -> None:
+        self._check_sram(address)
+        self._sram[address & ~3] = value & 0xFFFFFFFF
+
+    def _check_sram(self, address: int) -> None:
+        if not self.in_sram(address):
+            raise MemoryFault(f"address {address:#x} outside SRAM")

@@ -1,0 +1,126 @@
+"""Data-buffer manager: the pool of DDR2 buffers between host and channels.
+
+Paper: "The number of buffers available in a SSD architecture is upper
+bounded by the number of channels served by the disk controller.  In
+SSDExplorer the user can freely change this number, as well as the
+bandwidth of the memory interface, acting upon a simple text configuration
+file."
+
+The manager owns ``n_buffers`` independent :class:`DramController`
+devices, statically maps each channel onto one buffer (round-robin), and
+tracks buffer occupancy so a full buffer back-pressures the host interface
+(the mechanism that bounds the cache-policy head start).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..kernel import Component, Simulator, Store
+from .controller import DramController
+from .timing import Ddr2Timing
+
+
+class BufferManager(Component):
+    """A pool of DRAM buffer devices with channel affinity."""
+
+    def __init__(self, sim: Simulator, name: str, n_buffers: int,
+                 timing: Ddr2Timing, n_channels: int,
+                 capacity_bytes_per_buffer: int = 8 << 20,
+                 parent: Optional[Component] = None,
+                 enable_refresh: bool = True):
+        super().__init__(sim, name, parent)
+        if n_buffers < 1:
+            raise ValueError(f"n_buffers must be >= 1, got {n_buffers}")
+        if n_buffers > n_channels:
+            raise ValueError(
+                f"n_buffers ({n_buffers}) cannot exceed n_channels "
+                f"({n_channels}) — paper Section III-C2")
+        if capacity_bytes_per_buffer < 1:
+            raise ValueError("capacity_bytes_per_buffer must be >= 1")
+        self.n_buffers = n_buffers
+        self.n_channels = n_channels
+        self.capacity_bytes = capacity_bytes_per_buffer
+        self.buffers: List[DramController] = [
+            DramController(sim, f"buf{i}", timing, parent=self,
+                           enable_refresh=enable_refresh)
+            for i in range(n_buffers)
+        ]
+        self._occupancy = [0] * n_buffers
+        # Waiters blocked on space, per buffer (FIFO).
+        self._space_waiters: List[Store] = [
+            Store(sim, f"{name}.waiters{i}") for i in range(n_buffers)
+        ]
+        self._next_address = [0] * n_buffers
+
+    def buffer_for_channel(self, channel: int) -> int:
+        """Static channel -> buffer affinity."""
+        if not 0 <= channel < self.n_channels:
+            raise ValueError(f"channel {channel} out of range")
+        return channel % self.n_buffers
+
+    def occupancy(self, buffer_index: int) -> int:
+        """Bytes currently held in a buffer."""
+        return self._occupancy[buffer_index]
+
+    def total_occupancy(self) -> int:
+        return sum(self._occupancy)
+
+    # ------------------------------------------------------------------
+    # Space accounting (allocate on host write, free on flash flush)
+    # ------------------------------------------------------------------
+    def reserve(self, buffer_index: int, nbytes: int):
+        """Generator: block until ``nbytes`` of space is available."""
+        if nbytes > self.capacity_bytes:
+            raise ValueError(
+                f"request of {nbytes} B exceeds buffer capacity "
+                f"{self.capacity_bytes} B")
+        while self._occupancy[buffer_index] + nbytes > self.capacity_bytes:
+            waiter = self.sim.event(f"{self.name}.space{buffer_index}")
+            self._space_waiters[buffer_index].try_put(waiter)
+            yield waiter
+        self._occupancy[buffer_index] += nbytes
+        peak = self.stats.accumulator("occupancy_peak")
+        peak.add(self._occupancy[buffer_index])
+
+    def release(self, buffer_index: int, nbytes: int) -> None:
+        """Return space after data drained to flash (or host, for reads)."""
+        if nbytes > self._occupancy[buffer_index]:
+            raise ValueError(
+                f"releasing {nbytes} B but buffer {buffer_index} holds "
+                f"{self._occupancy[buffer_index]} B")
+        self._occupancy[buffer_index] -= nbytes
+        # Wake all waiters; they re-check and re-queue if still blocked.
+        while True:
+            ok, waiter = self._space_waiters[buffer_index].try_get()
+            if not ok:
+                break
+            waiter.succeed()
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+    def stream_address(self, buffer_index: int, nbytes: int) -> int:
+        """Allocate a sequential device address window for a transfer.
+
+        The SSD data path writes and reads buffers as FIFOs, so sequential
+        addressing (maximizing row hits) is the realistic pattern.
+        """
+        address = self._next_address[buffer_index]
+        self._next_address[buffer_index] = (
+            (address + nbytes) % (self.capacity_bytes))
+        return address
+
+    def write(self, buffer_index: int, nbytes: int):
+        """Generator: write ``nbytes`` into a buffer device."""
+        address = self.stream_address(buffer_index, nbytes)
+        result = yield self.sim.process(
+            self.buffers[buffer_index].write(address, nbytes))
+        return result
+
+    def read(self, buffer_index: int, nbytes: int):
+        """Generator: read ``nbytes`` from a buffer device."""
+        address = self.stream_address(buffer_index, nbytes)
+        result = yield self.sim.process(
+            self.buffers[buffer_index].read(address, nbytes))
+        return result

@@ -1,0 +1,164 @@
+"""Cycle-accurate DDR2 buffer controller.
+
+Models the behaviors the paper explicitly calls out — "column
+pre-charging, refresh operations, detailed command timings" — at the
+command level: per-bank open rows, ACT/PRE/CAS timing, back-to-back burst
+occupancy on the shared data bus, and a periodic refresh process that
+closes every row and stalls traffic for ``tRFC``.
+
+Requests of arbitrary size are split into row-sized segments; each segment
+costs a row hit or miss plus its burst train.  The controller is FCFS (the
+scheduler used by the buffer manager in the SSD data path, where traffic is
+already largely sequential).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel import Component, PriorityResource, Simulator
+from .timing import Ddr2Timing
+
+#: Arbitration priorities on the device bus (lower = more urgent).
+REFRESH_PRIORITY = -1
+ACCESS_PRIORITY = 0
+
+
+class DramController(Component):
+    """One DRAM device (one data buffer of the SSD) with FCFS scheduling
+    for accesses; refresh preempts the queue (it cannot be deferred past
+    tREFI without violating retention)."""
+
+    def __init__(self, sim: Simulator, name: str, timing: Ddr2Timing,
+                 parent: Optional[Component] = None,
+                 enable_refresh: bool = True):
+        super().__init__(sim, name, parent)
+        self.timing = timing
+        #: Serializes command/data bus use; FIFO among equal priorities.
+        self.bus = PriorityResource(sim, f"{name}.bus", capacity=1)
+        #: Per-bank serialization: row activations to different banks
+        #: overlap; only the data bursts share the device bus.
+        self._banks = [PriorityResource(sim, f"{name}.bank{i}", capacity=1)
+                       for i in range(timing.banks)]
+        #: Open row per bank (None == precharged).
+        self._open_rows: list = [None] * timing.banks
+        self._refresh_running = False
+        if enable_refresh:
+            self.start_refresh()
+
+    # ------------------------------------------------------------------
+    # Address mapping: row-interleaved across banks so that sequential
+    # streams rotate banks every row (standard buffer-friendly mapping).
+    # ------------------------------------------------------------------
+    def map_address(self, byte_address: int) -> tuple:
+        """Return (bank, row) for a byte address."""
+        if byte_address < 0:
+            raise ValueError("byte_address must be >= 0")
+        row_linear = byte_address // self.timing.row_bytes
+        bank = row_linear % self.timing.banks
+        row = row_linear // self.timing.banks
+        return bank, row
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def access(self, byte_address: int, nbytes: int, is_write: bool):
+        """Generator: perform a read or write of ``nbytes``.
+
+        Returns the total latency in picoseconds.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        start = self.sim.now
+        timing = self.timing
+        remaining = nbytes
+        address = byte_address
+        while remaining > 0:
+            bank, row = self.map_address(address)
+            in_row = timing.row_bytes - (address % timing.row_bytes)
+            segment = min(remaining, in_row)
+            # Bank phase: precharge/activate overlaps with other banks'
+            # work; only this bank serializes.
+            bank_grant = self._banks[bank].acquire(ACCESS_PRIORITY)
+            yield bank_grant
+            try:
+                if self._open_rows[bank] != row:
+                    delay = 0
+                    if self._open_rows[bank] is not None:
+                        delay += timing.precharge_ps()
+                        self.stats.counter("row_misses").increment()
+                    else:
+                        self.stats.counter("row_empty").increment()
+                    delay += timing.activate_to_read_ps()
+                    self._open_rows[bank] = row
+                else:
+                    self.stats.counter("row_hits").increment()
+                    delay = timing.clock.cycles(timing.t_cl)
+                yield self.sim.timeout(delay)
+                # Data phase: the burst train occupies the shared bus.
+                bus_grant = self.bus.acquire(ACCESS_PRIORITY)
+                yield bus_grant
+                try:
+                    bursts = timing.bursts_for(segment)
+                    delay = timing.burst_ps(bursts)
+                    if is_write:
+                        delay += timing.clock.cycles(timing.t_wr)
+                    yield self.sim.timeout(delay)
+                finally:
+                    self.bus.release(bus_grant)
+            finally:
+                self._banks[bank].release(bank_grant)
+            remaining -= segment
+            address += segment
+        elapsed = self.sim.now - start
+        kind = "writes" if is_write else "reads"
+        self.stats.counter(kind).increment()
+        self.stats.meter("data").record(nbytes)
+        self.stats.accumulator("latency_ps").add(elapsed)
+        return elapsed
+
+    def write(self, byte_address: int, nbytes: int):
+        """Generator: buffered write."""
+        return self.access(byte_address, nbytes, is_write=True)
+
+    def read(self, byte_address: int, nbytes: int):
+        """Generator: buffered read."""
+        return self.access(byte_address, nbytes, is_write=False)
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    def start_refresh(self) -> None:
+        """Start the periodic auto-refresh process (idempotent)."""
+        if self._refresh_running:
+            return
+        self._refresh_running = True
+        self.sim.process(self._refresh_loop(), name=f"{self.name}.refresh")
+
+    def _refresh_loop(self):
+        timing = self.timing
+        while True:
+            yield self.sim.timeout(timing.refresh_interval_ps)
+            # Refresh stalls the whole device: claim every bank, then the
+            # data bus — strictly in that order.  Accesses acquire in the
+            # same bank-before-bus order, so the lock ordering is acyclic
+            # (requesting the bus up-front would deadlock against accesses
+            # that hold a bank while waiting for the bus).
+            grants = []
+            for bank in self._banks:
+                grant = bank.acquire(REFRESH_PRIORITY)
+                yield grant
+                grants.append(grant)
+            bus_grant = self.bus.acquire(REFRESH_PRIORITY)
+            yield bus_grant
+            grants.append(bus_grant)
+            self._open_rows = [None] * timing.banks
+            yield self.sim.timeout(timing.refresh_ps())
+            self.bus.release(grants[-1])
+            for bank, grant in zip(self._banks, grants[:-1]):
+                bank.release(grant)
+            self.stats.counter("refreshes").increment()
+
+    def utilization(self) -> float:
+        """Busy fraction of the device bus."""
+        return self.bus.utilization()

@@ -1,0 +1,21 @@
+"""Error-correcting code subsystem.
+
+A real binary BCH codec (GF(2^m) arithmetic, Berlekamp–Massey decoding)
+plus the parametric latency models and the fixed/adaptive correction
+schemes compared in the paper's wear-out experiment (Fig. 5).
+"""
+
+from .adaptive import (AdaptiveBch, CorrectionTable, EccScheme, FixedBch,
+                       default_schemes)
+from .bch import BchCode, BchDecodeFailure, BchParameters, inject_errors
+from .galois import (GF2m, PRIMITIVE_POLYNOMIALS, poly2_degree, poly2_gcd,
+                     poly2_mod, poly2_multiply)
+from .latency import BchLatencyModel, DEFAULT_LATENCY
+
+__all__ = [
+    "AdaptiveBch", "BchCode", "BchDecodeFailure", "BchLatencyModel",
+    "BchParameters", "CorrectionTable", "DEFAULT_LATENCY", "EccScheme",
+    "FixedBch", "GF2m", "PRIMITIVE_POLYNOMIALS", "default_schemes",
+    "inject_errors", "poly2_degree", "poly2_gcd", "poly2_mod",
+    "poly2_multiply",
+]

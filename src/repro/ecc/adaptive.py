@@ -1,0 +1,142 @@
+"""Fixed and adaptive BCH correction schemes.
+
+The paper's Fig. 5 compares two ECC subsystems:
+
+* a **fixed BCH** whose correction capability is pinned at the worst-case
+  40 bits over the whole device lifetime, and
+* an **adaptive BCH** that exploits "a static correction table that
+  correlates the target correction capability with the memory page
+  wear-out, measured by Program/Erase (P/E) cycles.  Every time a new page
+  is written, based on the current P/E count the proper correction
+  capability is selected from the table."
+
+:class:`CorrectionTable` builds exactly that static table from the wear
+model; :class:`EccScheme` is the object the channel controller consults on
+every page read/write to price the encode/decode delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..nand.wear import WearModel
+from .latency import BchLatencyModel, DEFAULT_LATENCY
+
+
+@dataclass(frozen=True)
+class CorrectionTable:
+    """Static P/E-cycles → correction-capability lookup table.
+
+    Entries are ``(pe_threshold, t)`` pairs sorted by threshold; a page at
+    ``pe`` cycles uses the ``t`` of the first entry whose threshold is
+    >= ``pe``.  The last entry's ``t`` applies beyond the table end.
+    """
+
+    entries: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("correction table must have at least one entry")
+        thresholds = [threshold for threshold, __ in self.entries]
+        if thresholds != sorted(thresholds):
+            raise ValueError("correction table thresholds must be ascending")
+        if any(t < 0 for __, t in self.entries):
+            raise ValueError("correction capabilities must be >= 0")
+
+    def lookup(self, pe_cycles: int) -> int:
+        """Correction capability for a block at ``pe_cycles``."""
+        for threshold, t in self.entries:
+            if pe_cycles <= threshold:
+                return t
+        return self.entries[-1][1]
+
+    @classmethod
+    def from_wear_model(cls, wear_model: WearModel, codeword_bits: int,
+                        steps: int = 10, t_max: int = 40) -> "CorrectionTable":
+        """Build the static table the way a NAND vendor would: bucket the
+        rated lifetime into ``steps`` equal P/E windows and size each
+        bucket's ``t`` for the RBER at the *end* of the window."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        entries: List[Tuple[int, int]] = []
+        for step in range(1, steps + 1):
+            threshold = wear_model.rated_endurance * step // steps
+            t = min(t_max, wear_model.required_correction(threshold,
+                                                          codeword_bits))
+            entries.append((threshold, max(1, t)))
+        return cls(tuple(entries))
+
+
+@dataclass(frozen=True)
+class EccScheme:
+    """An ECC subsystem choice: how ``t`` is selected per operation."""
+
+    name: str
+    #: Payload bytes protected by one codeword (NAND-standard 1 KiB).
+    sector_bytes: int = 1024
+    #: Galois field order exponent (n = 2^m - 1 must fit the codeword).
+    m: int = 14
+    latency: BchLatencyModel = field(default_factory=BchLatencyModel)
+
+    def correction_for(self, pe_cycles: int) -> int:
+        raise NotImplementedError
+
+    def codeword_bits(self) -> int:
+        """Approximate wire bits per codeword (payload + worst parity)."""
+        return self.sector_bytes * 8 + self.m * self.worst_case_t()
+
+    def worst_case_t(self) -> int:
+        raise NotImplementedError
+
+    def codewords_per_page(self, page_bytes: int) -> int:
+        return -(-page_bytes // self.sector_bytes)
+
+    def encode_time_ps(self, page_bytes: int, pe_cycles: int) -> int:
+        """Latency to encode one page (serial engine, one codeword at a time)."""
+        t = self.correction_for(pe_cycles)
+        per_codeword = self.latency.encode_time_ps(self.codeword_bits(), t)
+        return per_codeword * self.codewords_per_page(page_bytes)
+
+    def decode_time_ps(self, page_bytes: int, pe_cycles: int,
+                       errors_present: bool = True) -> int:
+        """Latency to decode one page read at the given wear."""
+        t = self.correction_for(pe_cycles)
+        per_codeword = self.latency.decode_time_ps(self.codeword_bits(), t,
+                                                   errors_present)
+        return per_codeword * self.codewords_per_page(page_bytes)
+
+
+@dataclass(frozen=True)
+class FixedBch(EccScheme):
+    """Worst-case BCH: ``t`` pinned regardless of wear (paper: 40 bits)."""
+
+    name: str = "fixed-bch"
+    t: int = 40
+
+    def correction_for(self, pe_cycles: int) -> int:
+        return self.t
+
+    def worst_case_t(self) -> int:
+        return self.t
+
+
+@dataclass(frozen=True)
+class AdaptiveBch(EccScheme):
+    """Adaptive BCH driven by the static correction table."""
+
+    name: str = "adaptive-bch"
+    table: CorrectionTable = field(
+        default_factory=lambda: CorrectionTable.from_wear_model(
+            WearModel(), codeword_bits=1024 * 8, t_max=40))
+
+    def correction_for(self, pe_cycles: int) -> int:
+        return self.table.lookup(pe_cycles)
+
+    def worst_case_t(self) -> int:
+        return max(t for __, t in self.table.entries)
+
+
+def default_schemes() -> Tuple[FixedBch, AdaptiveBch]:
+    """The two schemes compared in the paper's Fig. 5."""
+    return FixedBch(), AdaptiveBch()

@@ -1,0 +1,241 @@
+"""A real binary BCH codec (encode + algebraic decode).
+
+The paper treats the ECC block as a parametric-delay component, but its
+adaptive-BCH experiment (Fig. 5) hinges on how correction capability ``t``
+maps to codec work.  We implement the actual codec so that (a) the latency
+model can be back-annotated from first principles (syndrome count,
+Berlekamp–Massey iterations, Chien search length) and (b) the platform can
+later be refined into functional simulation, exactly the refinement path
+SSDExplorer advertises.
+
+Pipeline: systematic encoding by polynomial division; decoding via
+syndromes → Berlekamp–Massey → Chien search.  Codewords are ``bytes``;
+bit ``i`` of the codeword polynomial lives at byte ``i // 8``, LSB first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .galois import GF2m, poly2_degree, poly2_mod, poly2_multiply
+
+
+class BchDecodeFailure(Exception):
+    """The decoder detected more errors than it can correct."""
+
+
+@dataclass(frozen=True)
+class BchParameters:
+    """Summary of a constructed code."""
+
+    m: int
+    n: int            # codeword bits (2^m - 1, before shortening)
+    k: int            # data bits
+    t: int            # designed correction capability
+    parity_bits: int
+
+
+class BchCode:
+    """Binary BCH code over GF(2^m) with correction capability ``t``.
+
+    Supports *shortened* operation: any payload up to ``k`` bits can be
+    encoded; the missing high-order data bits are implicitly zero (the
+    standard trick NAND controllers use to fit 1 KiB sectors into
+    BCH(8191, ...) codes).
+    """
+
+    def __init__(self, m: int, t: int):
+        if t < 1:
+            raise ValueError(f"correction capability must be >= 1, got {t}")
+        self.field = GF2m(m)
+        self.m = m
+        self.t = t
+        self.n = self.field.n
+        generator = 1
+        seen_cosets = set()
+        for power in range(1, 2 * t + 1):
+            coset = tuple(sorted(self.field.cyclotomic_coset(power)))
+            if coset in seen_cosets:
+                continue
+            seen_cosets.add(coset)
+            generator = poly2_multiply(generator,
+                                       self.field.minimal_polynomial(power))
+        self.generator = generator
+        self.parity_bits = poly2_degree(generator)
+        self.k = self.n - self.parity_bits
+        if self.k <= 0:
+            raise ValueError(
+                f"BCH(m={m}, t={t}) leaves no room for data (k={self.k})")
+
+    @property
+    def parameters(self) -> BchParameters:
+        return BchParameters(self.m, self.n, self.k, self.t, self.parity_bits)
+
+    # ------------------------------------------------------------------
+    # Bit packing helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bytes_to_int(data: bytes) -> int:
+        return int.from_bytes(data, "little")
+
+    @staticmethod
+    def _int_to_bytes(value: int, nbytes: int) -> bytes:
+        return value.to_bytes(nbytes, "little")
+
+    # ------------------------------------------------------------------
+    # Encode
+    # ------------------------------------------------------------------
+    def encode(self, data: bytes) -> bytes:
+        """Return ``data`` followed by the parity bytes.
+
+        ``data`` may be any length whose bit count fits in ``k``.
+        """
+        data_bits = len(data) * 8
+        if data_bits > self.k:
+            raise ValueError(
+                f"payload of {data_bits} bits exceeds k={self.k} for "
+                f"BCH(m={self.m}, t={self.t})")
+        message = self._bytes_to_int(data)
+        parity = poly2_mod(message << self.parity_bits, self.generator)
+        parity_bytes = (self.parity_bits + 7) // 8
+        return data + self._int_to_bytes(parity, parity_bytes)
+
+    def codeword_bits(self, data_len: int) -> int:
+        """Total bits on the wire for a ``data_len``-byte payload."""
+        return data_len * 8 + self.parity_bits
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def decode(self, codeword: bytes, data_len: int) -> Tuple[bytes, int]:
+        """Correct ``codeword`` in place and return ``(data, n_corrected)``.
+
+        ``data_len`` is the payload byte count used at encode time.
+        Raises :class:`BchDecodeFailure` if more than ``t`` errors are
+        present (detected via locator-degree or Chien-root mismatch).
+        """
+        parity_bytes = (self.parity_bits + 7) // 8
+        if len(codeword) != data_len + parity_bytes:
+            raise ValueError(
+                f"codeword length {len(codeword)} does not match payload "
+                f"{data_len} + parity {parity_bytes}")
+        data_bits = data_len * 8
+        # Received polynomial: parity occupies the low-order bit positions,
+        # data sits above it (matching encode's `message << parity_bits`).
+        parity = self._bytes_to_int(codeword[data_len:]) & ((1 << self.parity_bits) - 1)
+        message = self._bytes_to_int(codeword[:data_len])
+        received = (message << self.parity_bits) | parity
+
+        syndromes = self._syndromes(received, data_bits + self.parity_bits)
+        if not any(syndromes):
+            return codeword[:data_len], 0
+
+        locator = self._berlekamp_massey(syndromes)
+        error_count = len(locator) - 1
+        if error_count > self.t:
+            raise BchDecodeFailure(
+                f"locator degree {error_count} exceeds t={self.t}")
+        positions = self._chien_search(locator)
+        if len(positions) != error_count:
+            raise BchDecodeFailure(
+                f"found {len(positions)} roots for degree-{error_count} locator")
+        for position in positions:
+            if position >= data_bits + self.parity_bits:
+                raise BchDecodeFailure(
+                    f"error position {position} lies in the shortened region")
+            received ^= 1 << position
+
+        corrected_message = received >> self.parity_bits
+        return self._int_to_bytes(corrected_message, data_len), error_count
+
+    # ------------------------------------------------------------------
+    # Decoder stages
+    # ------------------------------------------------------------------
+    def _syndromes(self, received: int, total_bits: int) -> List[int]:
+        """S_j = r(α^j) for j = 1..2t, vectorized over set bit positions."""
+        positions = []
+        value = received
+        index = 0
+        while value:
+            chunk = value & 0xFFFFFFFFFFFFFFFF
+            while chunk:
+                low = chunk & -chunk
+                positions.append(index + low.bit_length() - 1)
+                chunk ^= low
+            value >>= 64
+            index += 64
+        if not positions:
+            return [0] * (2 * self.t)
+        pos = np.asarray(positions, dtype=np.int64)
+        exp = self.field.exp
+        syndromes = []
+        for j in range(1, 2 * self.t + 1):
+            terms = exp[(pos * j) % self.n]
+            syndromes.append(int(np.bitwise_xor.reduce(terms)))
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: List[int]) -> List[int]:
+        """Return the error-locator polynomial (coefficients low-to-high)."""
+        field = self.field
+        locator = [1]
+        previous = [1]
+        previous_discrepancy = 1
+        shift = 1
+        for step, syndrome in enumerate(syndromes):
+            discrepancy = syndrome
+            for i in range(1, len(locator)):
+                if i <= step:
+                    discrepancy ^= field.multiply(locator[i],
+                                                  syndromes[step - i])
+            if discrepancy == 0:
+                shift += 1
+                continue
+            scale = field.divide(discrepancy, previous_discrepancy)
+            correction = [0] * shift + [field.multiply(scale, c)
+                                        for c in previous]
+            updated = [a ^ b for a, b in
+                       zip(locator + [0] * (len(correction) - len(locator)),
+                           correction + [0] * (len(locator) - len(correction)))]
+            if 2 * (len(locator) - 1) <= step:
+                previous = locator
+                previous_discrepancy = discrepancy
+                shift = 1
+            else:
+                shift += 1
+            locator = updated
+        while len(locator) > 1 and locator[-1] == 0:
+            locator.pop()
+        return locator
+
+    def _chien_search(self, locator: List[int]) -> List[int]:
+        """Return error bit positions (roots of the locator, inverted)."""
+        field = self.field
+        degree = len(locator) - 1
+        if degree == 0:
+            return []
+        exp, log, n = field.exp, field.log, field.n
+        i_values = np.arange(n, dtype=np.int64)
+        accumulator = np.full(n, locator[0], dtype=np.int64)
+        for power in range(1, degree + 1):
+            coefficient = locator[power]
+            if coefficient == 0:
+                continue
+            # coefficient * (α^i)^power for all i
+            logs = (log[coefficient] + i_values * power) % n
+            accumulator ^= exp[logs]
+        roots = np.nonzero(accumulator == 0)[0]
+        # Root α^i ⇒ error locator X_l = α^{-i} ⇒ bit position n - i (mod n).
+        return sorted(int((n - i) % n) for i in roots)
+
+
+def inject_errors(codeword: bytes, positions: List[int]) -> bytes:
+    """Flip the given bit positions of a codeword (test/bench helper)."""
+    buffer = bytearray(codeword)
+    for position in positions:
+        if not 0 <= position < len(buffer) * 8:
+            raise ValueError(f"bit position {position} out of range")
+        buffer[position // 8] ^= 1 << (position % 8)
+    return bytes(buffer)

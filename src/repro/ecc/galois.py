@@ -1,0 +1,172 @@
+"""Binary-extension Galois fields GF(2^m).
+
+This is the arithmetic substrate of the BCH codec.  Elements are integers
+in ``[0, 2^m)``; multiplication uses exp/log tables built from a primitive
+polynomial.  Polynomials *over GF(2)* (used for generator-polynomial
+construction and encoding) are represented as Python integers whose bit ``i``
+is the coefficient of ``x^i`` — carry-less arithmetic then maps onto shifts
+and XORs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+#: Standard primitive polynomials (bit i = coefficient of x^i).
+PRIMITIVE_POLYNOMIALS: Dict[int, int] = {
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+    13: 0b10000000011011,
+    14: 0b100010001000011,
+}
+
+
+class GF2m:
+    """GF(2^m) with exp/log tables and vectorized helpers."""
+
+    def __init__(self, m: int, primitive_poly: int = 0):
+        if m not in PRIMITIVE_POLYNOMIALS and not primitive_poly:
+            raise ValueError(f"no built-in primitive polynomial for m={m}")
+        self.m = m
+        self.order = 1 << m
+        self.n = self.order - 1  # multiplicative group order
+        self.primitive_poly = primitive_poly or PRIMITIVE_POLYNOMIALS[m]
+        # exp table doubled so products of logs index without a modulo.
+        exp = np.zeros(2 * self.n, dtype=np.int64)
+        log = np.zeros(self.order, dtype=np.int64)
+        value = 1
+        for power in range(self.n):
+            exp[power] = value
+            log[value] = power
+            value <<= 1
+            if value & self.order:
+                value ^= self.primitive_poly
+        if value != 1:
+            raise ValueError(
+                f"polynomial {self.primitive_poly:#x} is not primitive for m={m}")
+        exp[self.n:] = exp[:self.n]
+        self.exp = exp
+        self.log = log
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field product of two elements."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self.exp[self.log[a] + self.log[b]])
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse; zero has none."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        return int(self.exp[self.n - self.log[a]])
+
+    def divide(self, a: int, b: int) -> int:
+        """Field quotient a / b."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return int(self.exp[(self.log[a] - self.log[b]) % self.n])
+
+    def power(self, a: int, exponent: int) -> int:
+        """a raised to an arbitrary (possibly negative) integer power."""
+        if a == 0:
+            if exponent <= 0:
+                raise ZeroDivisionError("0 cannot be raised to a non-positive power")
+            return 0
+        return int(self.exp[(self.log[a] * exponent) % self.n])
+
+    def alpha_power(self, exponent: int) -> int:
+        """α^exponent for the primitive element α."""
+        return int(self.exp[exponent % self.n])
+
+    def poly_eval(self, coefficients: List[int], x: int) -> int:
+        """Evaluate a GF(2^m)[x] polynomial (coefficients low-to-high) at x."""
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = self.multiply(result, x) ^ coefficient
+        return result
+
+    def cyclotomic_coset(self, start: int) -> List[int]:
+        """The 2-cyclotomic coset of ``start`` modulo ``2^m - 1``."""
+        coset = []
+        value = start % self.n
+        while value not in coset:
+            coset.append(value)
+            value = (value * 2) % self.n
+        return coset
+
+    def minimal_polynomial(self, element_power: int) -> int:
+        """Minimal polynomial (over GF(2)) of α^element_power.
+
+        Returned as a GF(2) polynomial bitmask.  Computed as
+        ``prod (x - α^c)`` over the cyclotomic coset; the result always has
+        0/1 coefficients.
+        """
+        coset = self.cyclotomic_coset(element_power)
+        # Polynomial over GF(2^m), coefficients low-to-high; start with 1.
+        poly: List[int] = [1]
+        for power in coset:
+            root = self.alpha_power(power)
+            # poly *= (x + root)
+            shifted = [0] + poly                       # poly * x
+            scaled = [self.multiply(c, root) for c in poly] + [0]
+            poly = [a ^ b for a, b in zip(shifted, scaled)]
+        mask = 0
+        for degree, coefficient in enumerate(poly):
+            if coefficient not in (0, 1):
+                raise ArithmeticError(
+                    "minimal polynomial has non-binary coefficient "
+                    f"{coefficient} — field tables are corrupt")
+            if coefficient:
+                mask |= 1 << degree
+        return mask
+
+
+# ----------------------------------------------------------------------
+# GF(2)[x] helpers on integer bitmasks
+# ----------------------------------------------------------------------
+def poly2_degree(poly: int) -> int:
+    """Degree of a GF(2) polynomial bitmask (-1 for the zero polynomial)."""
+    return poly.bit_length() - 1
+
+
+def poly2_multiply(a: int, b: int) -> int:
+    """Carry-less product of two GF(2) polynomials."""
+    result = 0
+    shift = 0
+    while b:
+        if b & 1:
+            result ^= a << shift
+        b >>= 1
+        shift += 1
+    return result
+
+
+def poly2_mod(dividend: int, divisor: int) -> int:
+    """Remainder of GF(2) polynomial division."""
+    if divisor == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    divisor_degree = poly2_degree(divisor)
+    while True:
+        dividend_degree = poly2_degree(dividend)
+        if dividend_degree < divisor_degree:
+            return dividend
+        dividend ^= divisor << (dividend_degree - divisor_degree)
+
+
+def poly2_gcd(a: int, b: int) -> int:
+    """Greatest common divisor in GF(2)[x]."""
+    while b:
+        a, b = b, poly2_mod(a, b)
+    return a

@@ -1,0 +1,12 @@
+"""Flash translation layer: WAF abstraction and a real page-mapping FTL."""
+
+from .pagemap import (BlockInfo, FlashBackend, FtlError, PageMapFtl,
+                      PhysicalPage)
+from .waf import (GreedyWafSimulator, WafModel, build_default_waf_model,
+                  spare_factor, waf_lru_analytic)
+
+__all__ = [
+    "BlockInfo", "FlashBackend", "FtlError", "GreedyWafSimulator",
+    "PageMapFtl", "PhysicalPage", "WafModel", "build_default_waf_model",
+    "spare_factor", "waf_lru_analytic",
+]

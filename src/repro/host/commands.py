@@ -1,0 +1,65 @@
+"""I/O commands exchanged between host and SSD."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+SECTOR_BYTES = 512
+
+
+class IoOpcode(enum.Enum):
+    """Host command opcodes."""
+
+    READ = 1
+    WRITE = 2
+    TRIM = 3
+    FLUSH = 4
+
+
+@dataclass
+class IoCommand:
+    """One host I/O command.
+
+    ``lba``/``sectors`` use 512-byte sectors, as SATA and NVMe do.
+    Timestamps are filled in by the host interface as the command moves
+    through the pipeline.
+    """
+
+    opcode: IoOpcode
+    lba: int
+    sectors: int
+    tag: int = 0
+    issue_time_ps: int = -1
+    submit_time_ps: int = -1      # entered the device (post link transfer)
+    complete_time_ps: int = -1
+
+    def __post_init__(self) -> None:
+        if self.lba < 0:
+            raise ValueError(f"lba must be >= 0, got {self.lba}")
+        if self.sectors < 1 and self.opcode is not IoOpcode.FLUSH:
+            raise ValueError(f"sectors must be >= 1, got {self.sectors}")
+
+    @property
+    def nbytes(self) -> int:
+        return self.sectors * SECTOR_BYTES
+
+    @property
+    def is_write(self) -> bool:
+        return self.opcode is IoOpcode.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self.opcode is IoOpcode.READ
+
+    @property
+    def latency_ps(self) -> int:
+        """End-to-end latency (valid after completion)."""
+        if self.complete_time_ps < 0 or self.issue_time_ps < 0:
+            raise ValueError("command has not completed")
+        return self.complete_time_ps - self.issue_time_ps
+
+    def __str__(self) -> str:
+        return (f"{self.opcode.name} lba={self.lba} sectors={self.sectors} "
+                f"tag={self.tag}")

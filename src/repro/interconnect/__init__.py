@@ -1,0 +1,12 @@
+"""System interconnect: AMBA AHB v2 (single- and multi-layer)."""
+
+from .ahb import (AhbBus, AhbMasterPort, AhbSlaveConfig, BUS_BYTES,
+                  MAX_MASTERS, MAX_SLAVES, MultiLayerAhbBus,
+                  MultiLayerMasterPort)
+from .arbiter import RoundRobinArbiter
+
+__all__ = [
+    "AhbBus", "AhbMasterPort", "AhbSlaveConfig", "BUS_BYTES", "MAX_MASTERS",
+    "MAX_SLAVES", "MultiLayerAhbBus", "MultiLayerMasterPort",
+    "RoundRobinArbiter",
+]

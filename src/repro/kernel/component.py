@@ -1,0 +1,78 @@
+"""Component hierarchy.
+
+Every architectural block of the virtual platform (host interface, bus,
+controller, die, ...) derives from :class:`Component`.  Components form a
+named tree — mirroring SystemC's module hierarchy — so statistics and debug
+traces carry full hierarchical paths like ``ssd.chn3.way1.die0``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from .stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+
+class Component:
+    """A named node in the platform hierarchy.
+
+    Subclasses register child components simply by constructing them with
+    ``parent=self``.  Each component owns a :class:`StatSet` for counters
+    and utilization trackers.
+    """
+
+    def __init__(self, sim: "Simulator", name: str,
+                 parent: Optional["Component"] = None):
+        if not name:
+            raise ValueError("component name must be non-empty")
+        if "." in name:
+            raise ValueError(f"component name may not contain '.': {name!r}")
+        self.sim = sim
+        self.name = name
+        self.parent = parent
+        self.children: Dict[str, "Component"] = {}
+        self.stats = StatSet(sim)
+        if parent is not None:
+            parent._add_child(self)
+
+    def _add_child(self, child: "Component") -> None:
+        if child.name in self.children:
+            raise ValueError(
+                f"duplicate child name {child.name!r} under {self.path()}")
+        self.children[child.name] = child
+
+    def path(self) -> str:
+        """Full dotted path from the hierarchy root."""
+        parts: List[str] = []
+        node: Optional[Component] = self
+        while node is not None:
+            parts.append(node.name)
+            node = node.parent
+        return ".".join(reversed(parts))
+
+    def walk(self) -> Iterator["Component"]:
+        """Yield this component and all descendants, depth first."""
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    def find(self, dotted: str) -> "Component":
+        """Look up a descendant by dotted path relative to this component."""
+        node: Component = self
+        for part in dotted.split("."):
+            try:
+                node = node.children[part]
+            except KeyError:
+                raise KeyError(f"no component {part!r} under {node.path()}") from None
+        return node
+
+    def collect_stats(self) -> Dict[str, Dict[str, float]]:
+        """Gather every descendant's statistics keyed by component path."""
+        return {node.path(): node.stats.snapshot() for node in self.walk()
+                if node.stats.snapshot()}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.path()}>"

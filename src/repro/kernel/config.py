@@ -1,0 +1,102 @@
+"""Configuration file support.
+
+The paper stresses that the platform is driven by "a simple text
+configuration file, which abstracts internal modeling details".  We accept
+two formats:
+
+* JSON (anything :func:`json.loads` accepts), and
+* a flat ``key = value`` format with ``#`` comments and optional
+  ``[section]`` headers, which become key prefixes (``section.key``).
+
+Values in the flat format are parsed as int, float, bool or string.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+
+class ConfigError(ValueError):
+    """Raised for malformed configuration input."""
+
+
+def _parse_scalar(text: str) -> Any:
+    lowered = text.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_flat_config(text: str) -> Dict[str, Any]:
+    """Parse the ``key = value`` format into a flat dict."""
+    result: Dict[str, Any] = {}
+    section = ""
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip()
+            if not section:
+                raise ConfigError(f"line {line_number}: empty section name")
+            continue
+        if "=" not in line:
+            raise ConfigError(f"line {line_number}: expected 'key = value', got {raw!r}")
+        key, __, value = line.partition("=")
+        key = key.strip()
+        if not key:
+            raise ConfigError(f"line {line_number}: empty key")
+        full_key = f"{section}.{key}" if section else key
+        if full_key in result:
+            raise ConfigError(f"line {line_number}: duplicate key {full_key!r}")
+        result[full_key] = _parse_scalar(value.strip())
+    return result
+
+
+def loads(text: str) -> Dict[str, Any]:
+    """Parse a configuration string, auto-detecting JSON vs flat format."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON config: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigError("JSON config must be an object at top level")
+        return _flatten(data)
+    if stripped.startswith("["):
+        # Could be a JSON array (invalid) or a flat-format [section] header.
+        try:
+            json.loads(text)
+        except json.JSONDecodeError:
+            return parse_flat_config(text)
+        raise ConfigError("JSON config must be an object at top level")
+    return parse_flat_config(text)
+
+
+def load_file(path: str) -> Dict[str, Any]:
+    """Read and parse a configuration file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def _flatten(tree: Dict[str, Any], prefix: str = "") -> Dict[str, Any]:
+    flat: Dict[str, Any] = {}
+    for key, value in tree.items():
+        full_key = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(_flatten(value, full_key))
+        else:
+            flat[full_key] = value
+    return flat

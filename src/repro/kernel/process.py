@@ -1,0 +1,116 @@
+"""Coroutine processes.
+
+A :class:`Process` wraps a Python generator and advances it each time the
+event it yielded triggers — the same execution model as SystemC's dynamic
+``SC_THREAD``s or simpy processes.  A process may yield:
+
+* an :class:`~repro.kernel.events.Event` (including ``Timeout``),
+* another :class:`Process` (wait for it to finish; receives its return value),
+* a plain non-negative ``int`` — shorthand for ``Timeout(delay_ps)``.
+
+The generator's ``return`` value becomes the process event's payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from .events import Event, Interrupt, SimulationError, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Process(Event):
+    """A running coroutine; also an event that fires when it terminates."""
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process target must be a generator, got {generator!r}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current simulation time.
+        bootstrap = Event(sim, name=f"{self.name}.start")
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the coroutine has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a terminated process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt terminated process {self.name}")
+        waiting_on = self._waiting_on
+        if waiting_on is not None and waiting_on.callbacks is not None:
+            try:
+                waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Event(self.sim, name=f"{self.name}.interrupt")
+        wakeup.add_callback(self._resume_with_interrupt)
+        wakeup.succeed(cause)
+
+    def _resume_with_interrupt(self, event: Event) -> None:
+        self._step(throw=Interrupt(event.value))
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok:
+            self._step(send=event._value)
+        else:
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(send)
+        except StopIteration as stop:
+            sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        sim._active_process = None
+
+        if isinstance(target, int):
+            target = Timeout(sim, target)
+        if not isinstance(target, Event):
+            self._step(throw=SimulationError(
+                f"process {self.name} yielded {target!r}; expected Event, "
+                f"Process or int delay"))
+            return
+        if target.processed:
+            # Already over: resume immediately (same sim time) via a fresh
+            # event so recursion depth stays bounded.
+            relay = Event(sim, name=f"{self.name}.relay")
+            relay.add_callback(self._resume)
+            if target._ok:
+                relay.succeed(target._value)
+            else:
+                relay._ok = False
+                relay._value = target._value
+                sim._schedule_event(relay)
+        else:
+            self._waiting_on = target
+            target.add_callback(self._resume)

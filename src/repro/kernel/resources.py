@@ -1,0 +1,271 @@
+"""Shared-resource primitives built on events.
+
+These model the contention points of the SSD microarchitecture: a
+:class:`Resource` is a counted semaphore with a FIFO grant queue (an ONFI
+channel data bus, a DMA engine, a DRAM data bus); a :class:`Store` is a
+bounded producer/consumer FIFO (command queues, ring buffers); a
+:class:`PriorityResource` lets urgent requesters (e.g. refresh logic) jump
+the queue.
+
+Usage from a process::
+
+    grant = yield bus.acquire()
+    ...use the bus...
+    bus.release(grant)
+
+or with the :func:`using` helper generator for exception safety.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple, TYPE_CHECKING
+
+from .events import Event, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+
+class Grant(Event):
+    """An event that fires once the resource is granted to the requester."""
+
+    __slots__ = ("resource", "priority", "released")
+
+    def __init__(self, sim: "Simulator", resource: "Resource", priority: int = 0):
+        super().__init__(sim, name=f"grant({resource.name})")
+        self.resource = resource
+        self.priority = priority
+        self.released = False
+
+
+class Resource:
+    """A counted resource with FIFO arbitration.
+
+    Tracks busy time so utilization can be reported in performance
+    breakdowns (one of SSDExplorer's headline capabilities).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "resource", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Grant] = deque()
+        # Utilization bookkeeping.
+        self._busy_since: Optional[int] = None
+        self._busy_accum: int = 0
+        self.total_grants = 0
+        self.total_wait_ps = 0
+        self._grant_times: dict = {}
+
+    @property
+    def in_use(self) -> int:
+        """Number of grants currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requesters waiting."""
+        return len(self._waiting)
+
+    def acquire(self, priority: int = 0) -> Grant:
+        """Request the resource; returns a :class:`Grant` event to yield on."""
+        grant = Grant(self.sim, self, priority)
+        self._grant_times[id(grant)] = self.sim.now
+        if self._in_use < self.capacity:
+            self._admit(grant)
+        else:
+            self._waiting.append(grant)
+        return grant
+
+    def release(self, grant: Grant) -> None:
+        """Return the resource; wakes the next FIFO waiter if any."""
+        if grant.resource is not self:
+            raise SimulationError(f"grant {grant!r} does not belong to {self.name}")
+        if grant.released:
+            raise SimulationError(f"grant {grant!r} released twice")
+        if not grant.triggered:
+            # Cancelled before being admitted: drop from the wait queue.
+            grant.released = True
+            try:
+                self._waiting.remove(grant)
+            except ValueError:
+                raise SimulationError(f"grant {grant!r} was never issued by {self.name}")
+            self._grant_times.pop(id(grant), None)
+            return
+        grant.released = True
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self._busy_accum += self.sim.now - self._busy_since
+            self._busy_since = None
+        while self._waiting and self._in_use < self.capacity:
+            self._admit(self._waiting.popleft())
+
+    def _admit(self, grant: Grant) -> None:
+        requested_at = self._grant_times.pop(id(grant), self.sim.now)
+        self.total_wait_ps += self.sim.now - requested_at
+        self.total_grants += 1
+        if self._in_use == 0:
+            self._busy_since = self.sim.now
+        self._in_use += 1
+        grant.succeed(grant)
+
+    def busy_time(self) -> int:
+        """Total picoseconds during which at least one grant was held."""
+        accum = self._busy_accum
+        if self._busy_since is not None:
+            accum += self.sim.now - self._busy_since
+        return accum
+
+    def utilization(self) -> float:
+        """Fraction of elapsed sim time the resource was busy."""
+        if self.sim.now == 0:
+            return 0.0
+        return self.busy_time() / self.sim.now
+
+    def __repr__(self) -> str:
+        return (f"<Resource {self.name} {self._in_use}/{self.capacity} busy, "
+                f"{len(self._waiting)} waiting>")
+
+
+class PriorityResource(Resource):
+    """A resource whose waiters are served by (priority, arrival) order.
+
+    Lower priority values are served first.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "presource", capacity: int = 1):
+        super().__init__(sim, name, capacity)
+        self._heap: List[Tuple[int, int, Grant]] = []
+        self._arrivals = 0
+
+    def acquire(self, priority: int = 0) -> Grant:
+        grant = Grant(self.sim, self, priority)
+        self._grant_times[id(grant)] = self.sim.now
+        if self._in_use < self.capacity:
+            self._admit(grant)
+        else:
+            self._arrivals += 1
+            heapq.heappush(self._heap, (priority, self._arrivals, grant))
+        return grant
+
+    def release(self, grant: Grant) -> None:
+        if grant.resource is not self:
+            raise SimulationError(f"grant {grant!r} does not belong to {self.name}")
+        if grant.released:
+            raise SimulationError(f"grant {grant!r} released twice")
+        if not grant.triggered:
+            grant.released = True
+            self._heap = [entry for entry in self._heap if entry[2] is not grant]
+            heapq.heapify(self._heap)
+            self._grant_times.pop(id(grant), None)
+            return
+        grant.released = True
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self._busy_accum += self.sim.now - self._busy_since
+            self._busy_since = None
+        while self._heap and self._in_use < self.capacity:
+            __, __, waiter = heapq.heappop(self._heap)
+            self._admit(waiter)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+
+class Store:
+    """A bounded FIFO of items with blocking put/get.
+
+    ``capacity=None`` means unbounded (puts never block).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "store",
+                 capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+        self.total_puts = 0
+        self.total_gets = 0
+        self._peak = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def peak_occupancy(self) -> int:
+        """Largest number of items simultaneously held."""
+        return self._peak
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires once there is room."""
+        event = Event(self.sim, name=f"{self.name}.put")
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._commit_put(item)
+            event.succeed(item)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._commit_put(item)
+        return True
+
+    def get(self) -> Event:
+        """Remove the oldest item; the returned event carries it."""
+        event = Event(self.sim, name=f"{self.name}.get")
+        if self._items:
+            event.succeed(self._commit_get())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        return True, self._commit_get()
+
+    def _commit_put(self, item: Any) -> None:
+        self.total_puts += 1
+        if self._getters:
+            # Hand straight to the oldest waiting consumer.
+            self.total_gets += 1
+            self._getters.popleft().succeed(item)
+            return
+        self._items.append(item)
+        self._peak = max(self._peak, len(self._items))
+
+    def _commit_get(self) -> Any:
+        item = self._items.popleft()
+        self.total_gets += 1
+        # Room freed: admit the oldest blocked producer.
+        if self._putters and (self.capacity is None
+                              or len(self._items) < self.capacity):
+            putter, pending = self._putters.popleft()
+            self._commit_put(pending)
+            putter.succeed(pending)
+        return item
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"<Store {self.name} {len(self._items)}/{cap}>"
+
+
+def using_acquire(resource: Resource, priority: int = 0):
+    """``yield from`` helper that acquires and returns the grant."""
+    grant = resource.acquire(priority)
+    yield grant
+    return grant

@@ -1,0 +1,124 @@
+"""Simulation time base.
+
+All simulation timestamps are integers in **picoseconds**.  An integer time
+base (like SystemC's ``sc_time`` default resolution) keeps event ordering
+exact and avoids the floating-point drift that plagues ad-hoc simulators when
+clocks with non-commensurable periods interact (e.g. a 200 MHz AHB clock and
+a 33 MHz ONFI clock).
+
+The helpers below convert human-friendly units into picoseconds and back.
+"""
+
+from __future__ import annotations
+
+#: One picosecond (the base resolution).
+PS = 1
+#: One nanosecond in picoseconds.
+NS = 1_000
+#: One microsecond in picoseconds.
+US = 1_000_000
+#: One millisecond in picoseconds.
+MS = 1_000_000_000
+#: One second in picoseconds.
+SEC = 1_000_000_000_000
+
+
+def ps(value: float) -> int:
+    """Convert picoseconds (possibly fractional) to integer sim time."""
+    return int(round(value))
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer sim time (picoseconds)."""
+    return int(round(value * NS))
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer sim time (picoseconds)."""
+    return int(round(value * US))
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer sim time (picoseconds)."""
+    return int(round(value * MS))
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer sim time (picoseconds)."""
+    return int(round(value * SEC))
+
+
+def period_from_hz(frequency_hz: float) -> int:
+    """Return the clock period, in picoseconds, of a ``frequency_hz`` clock.
+
+    >>> period_from_hz(200e6)
+    5000
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return int(round(SEC / frequency_hz))
+
+
+def to_seconds(time_ps: int) -> float:
+    """Convert integer sim time back to floating-point seconds."""
+    return time_ps / SEC
+
+
+def to_us(time_ps: int) -> float:
+    """Convert integer sim time back to floating-point microseconds."""
+    return time_ps / US
+
+
+def format_time(time_ps: int) -> str:
+    """Render a sim time with an adaptive unit, e.g. ``'12.5 us'``.
+
+    Chooses the largest unit that keeps the value >= 1 so traces stay
+    readable across the ps..s range.
+    """
+    magnitude = abs(time_ps)
+    for unit_ps, suffix in ((SEC, "s"), (MS, "ms"), (US, "us"), (NS, "ns")):
+        if magnitude >= unit_ps:
+            return f"{time_ps / unit_ps:.6g} {suffix}"
+    return f"{time_ps} ps"
+
+
+class Clock:
+    """A free-running clock with an integer period in picoseconds.
+
+    Cycle-accurate models express their latencies in cycles of their own
+    clock; :class:`Clock` converts between cycles and absolute sim time and
+    aligns arbitrary times onto clock edges.
+    """
+
+    __slots__ = ("name", "period_ps")
+
+    def __init__(self, name: str, frequency_hz: float = 0.0, period_ps: int = 0):
+        if bool(frequency_hz) == bool(period_ps):
+            raise ValueError("specify exactly one of frequency_hz or period_ps")
+        self.name = name
+        self.period_ps = period_ps if period_ps else period_from_hz(frequency_hz)
+        if self.period_ps <= 0:
+            raise ValueError(f"clock period must be positive, got {self.period_ps}")
+
+    @property
+    def frequency_hz(self) -> float:
+        """The clock frequency in hertz."""
+        return SEC / self.period_ps
+
+    def cycles(self, count: float) -> int:
+        """Return the duration of ``count`` cycles in picoseconds."""
+        return int(round(count * self.period_ps))
+
+    def cycles_ceil(self, duration_ps: int) -> int:
+        """Return how many whole cycles cover ``duration_ps``."""
+        return -(-duration_ps // self.period_ps)
+
+    def next_edge(self, now_ps: int) -> int:
+        """Return the first clock edge at or after ``now_ps``."""
+        remainder = now_ps % self.period_ps
+        if remainder == 0:
+            return now_ps
+        return now_ps + self.period_ps - remainder
+
+    def __repr__(self) -> str:
+        return f"Clock({self.name!r}, {self.frequency_hz / 1e6:.6g} MHz)"

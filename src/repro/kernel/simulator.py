@@ -1,0 +1,152 @@
+"""The discrete-event simulation core.
+
+:class:`Simulator` owns the event calendar (a binary heap keyed on
+``(time, sequence)``) and the simulated clock.  It plays the role SystemC's
+kernel plays for the original SSDExplorer: components schedule timed events,
+processes synchronize on them, and :meth:`Simulator.run` advances virtual
+time until the calendar drains or a limit is reached.
+
+Statistics that later feed the Fig. 6 "simulation speed" experiment are kept
+here too: the kernel counts processed events and exposes wall-clock totals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _wall_time
+from typing import Any, Callable, List, Optional, Tuple
+
+from .events import Condition, Event, SimulationError, Timeout, all_of, any_of
+from .process import Process, ProcessGenerator
+
+
+class Simulator:
+    """A timed discrete-event simulator with coroutine processes."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: List[Tuple[int, int, Event]] = []
+        self._sequence: int = 0
+        self._active_process: Optional[Process] = None
+        #: Number of events processed since construction.
+        self.events_processed: int = 0
+        #: Wall-clock seconds spent inside :meth:`run`.
+        self.wall_seconds: float = 0.0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Time and introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the calendar is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: int = 0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` picoseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a coroutine process; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: List[Event]) -> Condition:
+        """Event that fires once every listed event has fired."""
+        return all_of(self, events)
+
+    def any_of(self, events: List[Event]) -> Condition:
+        """Event that fires once any listed event has fired."""
+        return any_of(self, events)
+
+    def call_at(self, when: int, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at absolute sim time ``when`` (>= now)."""
+        timer = Timeout(self, when - self._now)
+        timer.add_callback(lambda _ev: callback())
+
+    def call_after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` picoseconds."""
+        timer = Timeout(self, delay)
+        timer.add_callback(lambda _ev: callback())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Advance simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event calendar is empty;
+        * an ``int`` — absolute sim time at which to stop (events at exactly
+          that time are still processed);
+        * an :class:`Event` — run until that event has been processed, then
+          return its value (re-raising its exception if it failed).
+        """
+        stop_time: Optional[int] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif isinstance(until, int):
+            stop_time = until
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"run(until={stop_time}) is in the past (now={self._now})")
+        elif until is not None:
+            raise TypeError(f"until must be None, int or Event, got {until!r}")
+
+        self._stopped = False
+        started = _wall_time.perf_counter()
+        try:
+            queue = self._queue
+            while queue and not self._stopped:
+                when = queue[0][0]
+                if stop_time is not None and when > stop_time:
+                    self._now = stop_time
+                    break
+                __, __, event = heapq.heappop(queue)
+                self._now = when
+                self.events_processed += 1
+                event._process()
+                if stop_event is not None and stop_event.processed:
+                    break
+            else:
+                if stop_time is not None and not self._stopped:
+                    self._now = max(self._now, stop_time)
+        finally:
+            self.wall_seconds += _wall_time.perf_counter() - started
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) exhausted the calendar before the event "
+                    f"fired: {stop_event!r}")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        return None

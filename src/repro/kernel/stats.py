@@ -1,0 +1,228 @@
+"""Statistics primitives.
+
+SSDExplorer's selling point is *performance breakdown*: per-component
+utilization, latency distributions and throughput series.  These small
+accumulators are deliberately allocation-free on the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Accumulator:
+    """Running sum / min / max / mean / variance (Welford) of samples."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        if sample < self.minimum:
+            self.minimum = sample
+        if sample > self.maximum:
+            self.maximum = sample
+        delta = sample - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (sample - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class Histogram:
+    """Fixed-bin histogram with percentile queries (for latency CDFs)."""
+
+    def __init__(self, bin_width: float, max_bins: int = 4096):
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        self.bin_width = bin_width
+        self.max_bins = max_bins
+        self.bins: Dict[int, int] = {}
+        self.count = 0
+        self.overflow = 0
+
+    def add(self, sample: float) -> None:
+        index = int(sample // self.bin_width)
+        if index >= self.max_bins:
+            self.overflow += 1
+            index = self.max_bins - 1
+        self.bins[index] = self.bins.get(index, 0) + 1
+        self.count += 1
+
+    def percentile(self, fraction: float) -> float:
+        """Return the upper edge of the bin containing the given quantile."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        seen = 0
+        for index in sorted(self.bins):
+            seen += self.bins[index]
+            if seen >= target:
+                return (index + 1) * self.bin_width
+        return (max(self.bins) + 1) * self.bin_width
+
+
+class UtilizationTracker:
+    """Time-weighted busy/idle tracker for a single unit."""
+
+    __slots__ = ("sim", "_busy_since", "_accum")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._busy_since: Optional[int] = None
+        self._accum = 0
+
+    def set_busy(self) -> None:
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+
+    def set_idle(self) -> None:
+        if self._busy_since is not None:
+            self._accum += self.sim.now - self._busy_since
+            self._busy_since = None
+
+    def busy_time(self) -> int:
+        accum = self._accum
+        if self._busy_since is not None:
+            accum += self.sim.now - self._busy_since
+        return accum
+
+    def utilization(self, since: int = 0) -> float:
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time() / elapsed)
+
+
+class ThroughputMeter:
+    """Counts bytes and reports MB/s over the observed window."""
+
+    __slots__ = ("sim", "bytes_total", "first_ps", "last_ps", "ops")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.bytes_total = 0
+        self.ops = 0
+        self.first_ps: Optional[int] = None
+        self.last_ps: Optional[int] = None
+
+    def record(self, nbytes: int) -> None:
+        now = self.sim.now
+        if self.first_ps is None:
+            self.first_ps = now
+        self.last_ps = now
+        self.bytes_total += nbytes
+        self.ops += 1
+
+    def megabytes_per_second(self, window_ps: Optional[int] = None) -> float:
+        """Throughput in MB/s (10^6 bytes, as the paper's figures use).
+
+        ``window_ps`` overrides the measurement window; by default the window
+        runs from time zero to the last recorded sample so idle tail time
+        does not inflate the figure.
+        """
+        if self.bytes_total == 0:
+            return 0.0
+        window = window_ps if window_ps is not None else (self.last_ps or 0)
+        if window <= 0:
+            return 0.0
+        seconds = window / 1e12
+        return self.bytes_total / 1e6 / seconds
+
+    def iops(self, window_ps: Optional[int] = None) -> float:
+        """Operations per second over the same window."""
+        if self.ops == 0:
+            return 0.0
+        window = window_ps if window_ps is not None else (self.last_ps or 0)
+        if window <= 0:
+            return 0.0
+        return self.ops / (window / 1e12)
+
+
+class StatSet:
+    """A named bag of statistics owned by a component."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.counters: Dict[str, Counter] = {}
+        self.accumulators: Dict[str, Accumulator] = {}
+        self.utilizations: Dict[str, UtilizationTracker] = {}
+        self.meters: Dict[str, ThroughputMeter] = {}
+
+    def counter(self, name: str) -> Counter:
+        stat = self.counters.get(name)
+        if stat is None:
+            stat = self.counters[name] = Counter()
+        return stat
+
+    def accumulator(self, name: str) -> Accumulator:
+        stat = self.accumulators.get(name)
+        if stat is None:
+            stat = self.accumulators[name] = Accumulator()
+        return stat
+
+    def utilization(self, name: str) -> UtilizationTracker:
+        stat = self.utilizations.get(name)
+        if stat is None:
+            stat = self.utilizations[name] = UtilizationTracker(self.sim)
+        return stat
+
+    def meter(self, name: str) -> ThroughputMeter:
+        stat = self.meters.get(name)
+        if stat is None:
+            stat = self.meters[name] = ThroughputMeter(self.sim)
+        return stat
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten all stats into a plain dict for reporting."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[f"{name}.count"] = counter.value
+        for name, acc in self.accumulators.items():
+            if acc.count:
+                out[f"{name}.mean"] = acc.mean
+                out[f"{name}.max"] = acc.maximum
+                out[f"{name}.n"] = acc.count
+        for name, util in self.utilizations.items():
+            out[f"{name}.utilization"] = util.utilization()
+        for name, meter in self.meters.items():
+            if meter.ops:
+                out[f"{name}.mbps"] = meter.megabytes_per_second()
+                out[f"{name}.ops"] = meter.ops
+        return out

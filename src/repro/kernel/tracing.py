@@ -1,0 +1,113 @@
+"""Event tracing: fine-grained visibility into a run.
+
+SSDExplorer's value proposition is insight into "subcomponent interaction
+efficiency"; when a number looks wrong, a designer needs to see the event
+stream.  :class:`TraceRecorder` is a bounded ring buffer of
+``(time, component, event, detail)`` records that any component can write
+to, with filtered queries and a text renderer.
+
+Tracing is opt-in and zero-cost when disabled (a module-level no-op hook).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, NamedTuple, Optional
+
+from .simtime import format_time
+
+
+class TraceRecord(NamedTuple):
+    """One traced event."""
+
+    time_ps: int
+    component: str
+    event: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[{format_time(self.time_ps):>12}] "
+                f"{self.component:<24} {self.event:<16} {self.detail}")
+
+
+class TraceRecorder:
+    """Bounded ring buffer of trace records."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.total = 0
+
+    def record(self, time_ps: int, component: str, event: str,
+               detail: str = "") -> None:
+        """Append one record (oldest records roll off past capacity)."""
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self.total += 1
+        self._records.append(TraceRecord(time_ps, component, event, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, component: Optional[str] = None,
+                event: Optional[str] = None,
+                since_ps: int = 0) -> List[TraceRecord]:
+        """Filtered view; substring match on component, exact on event."""
+        out = []
+        for record in self._records:
+            if record.time_ps < since_ps:
+                continue
+            if component is not None and component not in record.component:
+                continue
+            if event is not None and record.event != event:
+                continue
+            out.append(record)
+        return out
+
+    def render(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        """Text dump of (a filtered view of) the trace."""
+        lines = [str(record) for record in
+                 (records if records is not None else self._records)]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} older records dropped)")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+        self.total = 0
+
+
+class _NullRecorder:
+    """The disabled hook: every call is a no-op."""
+
+    def record(self, time_ps: int, component: str, event: str,
+               detail: str = "") -> None:
+        return None
+
+
+#: The process-global hook components write to.  Replace with a
+#: :class:`TraceRecorder` via :func:`enable_tracing` to capture events.
+active_recorder = _NullRecorder()
+
+
+def enable_tracing(capacity: int = 10_000) -> TraceRecorder:
+    """Install and return a fresh recorder as the global hook."""
+    global active_recorder
+    recorder = TraceRecorder(capacity)
+    active_recorder = recorder
+    return recorder
+
+
+def disable_tracing() -> None:
+    """Restore the no-op hook."""
+    global active_recorder
+    active_recorder = _NullRecorder()
+
+
+def trace(time_ps: int, component: str, event: str, detail: str = "") -> None:
+    """Write to whatever hook is active (no-op when tracing is off)."""
+    active_recorder.record(time_ps, component, event, detail)

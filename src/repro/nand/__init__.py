@@ -1,0 +1,22 @@
+"""Cycle-accurate NAND flash memory subsystem.
+
+Implements the die/plane/block/page hierarchy, MLC timing variation
+(tPROG 900 us – 3 ms, tREAD 60 us, tBERS 1 – 10 ms), the shared ONFI channel
+bus, and the wear-out / RBER model that drives the ECC experiments.
+"""
+
+from .die import NandDie, NandProtocolError
+from .geometry import DEFAULT_GEOMETRY, NandGeometry, PageAddress
+from .onfi import OnfiChannel, OnfiTiming
+from .onfi_commands import (COMMAND_SET, OnfiCommandSpec, command_bus_time_ps,
+                            sequence_description)
+from .timing import DEFAULT_TIMING, MlcTimingModel
+from .wear import DEFAULT_WEAR, BlockWearState, WearModel
+
+__all__ = [
+    "DEFAULT_GEOMETRY", "DEFAULT_TIMING", "DEFAULT_WEAR", "BlockWearState",
+    "COMMAND_SET", "MlcTimingModel", "NandDie", "NandGeometry",
+    "NandProtocolError", "OnfiChannel", "OnfiCommandSpec", "OnfiTiming",
+    "PageAddress", "WearModel", "command_bus_time_ps",
+    "sequence_description",
+]

@@ -1,0 +1,283 @@
+"""NAND die model: a cycle-accurate state machine with legality checking.
+
+Each die is an independent unit that can hold one array operation at a time
+(read / program / erase).  The model enforces the NAND programming rules the
+FTL must respect:
+
+* a page may be programmed only if its block was erased since the last
+  program of that page (no in-place update);
+* pages inside a block must be programmed sequentially (ONFI requirement
+  for MLC parts);
+* reads of never-programmed pages are flagged.
+
+Payload data is *not* stored (SSDExplorer is a performance platform, not a
+functional one — paper Section III-A); instead each block keeps a write
+pointer and wear state, which is all the FTL and ECC layers need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..kernel import Component, SimulationError, Simulator
+from .geometry import NandGeometry, PageAddress
+from .timing import MlcTimingModel
+from .wear import BlockWearState, WearModel
+
+
+class NandProtocolError(SimulationError):
+    """Raised when an operation violates NAND programming rules."""
+
+
+class NandDie(Component):
+    """One NAND die: array state machine plus per-block wear tracking.
+
+    The ONFI channel (see :mod:`repro.nand.onfi`) handles command/data bus
+    occupancy; this class models only the internal array time, during which
+    the die is busy but the channel bus is free for other dies — the overlap
+    that makes way-level interleaving profitable.
+    """
+
+    IDLE = "idle"
+    READING = "reading"
+    PROGRAMMING = "programming"
+    ERASING = "erasing"
+
+    def __init__(self, sim: Simulator, name: str, geometry: NandGeometry,
+                 timing: MlcTimingModel, wear_model: WearModel,
+                 parent: Optional[Component] = None,
+                 initial_pe_cycles: int = 0):
+        super().__init__(sim, name, parent)
+        self.geometry = geometry
+        self.timing = timing
+        self.wear_model = wear_model
+        self.initial_pe_cycles = initial_pe_cycles
+        self.state = self.IDLE
+        self._busy_until = 0
+        #: Extra array time per additional plane in a multi-plane command
+        #: (ONFI interleaved-plane issue overhead).
+        self.multiplane_overhead_ps = 2_000_000  # 2 us
+        # (plane, block) -> write pointer (next programmable page index).
+        self._write_pointers: Dict[Tuple[int, int], int] = {}
+        # (plane, block) -> BlockWearState, created lazily.
+        self._wear: Dict[Tuple[int, int], BlockWearState] = {}
+        self._busy_tracker = self.stats.utilization("array")
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def is_busy(self) -> bool:
+        return self.state != self.IDLE
+
+    def pe_cycles(self, plane: int, block: int) -> int:
+        """Program/erase cycles endured by a block."""
+        state = self._wear.get((plane, block))
+        endured = state.pe_cycles if state else 0
+        return self.initial_pe_cycles + endured
+
+    def wear_fraction(self, plane: int, block: int) -> float:
+        """Normalized wear of a block (1.0 == rated endurance)."""
+        return self.wear_model.normalized(self.pe_cycles(plane, block))
+
+    def write_pointer(self, plane: int, block: int) -> int:
+        """Next page due for programming in a block (0 if erased/fresh)."""
+        return self._write_pointers.get((plane, block), 0)
+
+    def rber(self, plane: int, block: int) -> float:
+        """Raw bit error rate of pages in this block at current wear."""
+        return self.wear_model.rber(self.pe_cycles(plane, block))
+
+    # ------------------------------------------------------------------
+    # Array operations (generator processes: yield them with sim.process
+    # or from within another process)
+    # ------------------------------------------------------------------
+    def read(self, address: PageAddress):
+        """Array read: sense a page into the page register.
+
+        Generator; completes after ``t_READ``.  Returns the block RBER so
+        the ECC model downstream can decide decode effort.
+        """
+        self.geometry.validate(address)
+        key = (address.plane, address.block)
+        if address.page >= self._write_pointers.get(key, 0):
+            self.stats.counter("reads_unwritten").increment()
+        self._begin(self.READING)
+        duration = self.timing.read_time(address.page,
+                                         self.wear_fraction(*key))
+        yield self.sim.timeout(duration)
+        self._end()
+        wear_state = self._wear_state(key)
+        wear_state.record_read()
+        self.stats.counter("reads").increment()
+        return self.rber(*key)
+
+    def program(self, address: PageAddress):
+        """Array program; enforces erase-before-write and page order."""
+        self.geometry.validate(address)
+        key = (address.plane, address.block)
+        pointer = self._write_pointers.get(key, 0)
+        if address.page != pointer:
+            raise NandProtocolError(
+                f"{self.path()}: program page {address.page} of block "
+                f"{key} violates sequential-programming rule "
+                f"(write pointer is {pointer})")
+        self._begin(self.PROGRAMMING)
+        duration = self.timing.program_time(address.page, address.block,
+                                            self.wear_fraction(*key))
+        yield self.sim.timeout(duration)
+        self._end()
+        self._write_pointers[key] = pointer + 1
+        self._wear_state(key).record_program()
+        self.stats.counter("programs").increment()
+        return duration
+
+    def erase(self, plane: int, block: int):
+        """Block erase; resets the write pointer and adds a P/E cycle."""
+        self.geometry.validate(PageAddress(plane, block, 0))
+        key = (plane, block)
+        self._begin(self.ERASING)
+        duration = self.timing.erase_time(block, self.wear_fraction(*key))
+        yield self.sim.timeout(duration)
+        self._end()
+        self._write_pointers[key] = 0
+        self._wear_state(key).record_erase()
+        self.stats.counter("erases").increment()
+        return duration
+
+    # ------------------------------------------------------------------
+    # Multi-plane operations (ONFI interleaved-plane commands)
+    # ------------------------------------------------------------------
+    def _validate_multiplane(self, addresses) -> None:
+        if len(addresses) < 2:
+            raise ValueError("multi-plane operations need >= 2 addresses")
+        planes = [address.plane for address in addresses]
+        if len(set(planes)) != len(planes):
+            raise NandProtocolError(
+                f"{self.path()}: multi-plane addresses must use distinct "
+                f"planes, got {planes}")
+        pages = {address.page for address in addresses}
+        if len(pages) != 1:
+            raise NandProtocolError(
+                f"{self.path()}: multi-plane addresses must share the page "
+                f"offset, got {sorted(pages)}")
+        for address in addresses:
+            self.geometry.validate(address)
+
+    def program_multiplane(self, addresses):
+        """Program one page in each of several planes concurrently.
+
+        Array time is the slowest plane's tPROG plus a small per-extra-
+        plane issue overhead — the parallelism that makes multi-plane
+        commands worth their addressing restrictions.
+        """
+        self._validate_multiplane(addresses)
+        for address in addresses:
+            key = (address.plane, address.block)
+            pointer = self._write_pointers.get(key, 0)
+            if address.page != pointer:
+                raise NandProtocolError(
+                    f"{self.path()}: multi-plane program page "
+                    f"{address.page} of block {key} violates the "
+                    f"sequential rule (pointer {pointer})")
+        self._begin(self.PROGRAMMING)
+        duration = max(
+            self.timing.program_time(address.page, address.block,
+                                     self.wear_fraction(address.plane,
+                                                        address.block))
+            for address in addresses)
+        duration += self.multiplane_overhead_ps * (len(addresses) - 1)
+        yield self.sim.timeout(duration)
+        self._end()
+        for address in addresses:
+            key = (address.plane, address.block)
+            self._write_pointers[key] = address.page + 1
+            self._wear_state(key).record_program()
+        self.stats.counter("programs").increment(len(addresses))
+        self.stats.counter("multiplane_programs").increment()
+        return duration
+
+    def read_multiplane(self, addresses):
+        """Sense one page in each of several planes concurrently."""
+        self._validate_multiplane(addresses)
+        self._begin(self.READING)
+        duration = max(
+            self.timing.read_time(address.page,
+                                  self.wear_fraction(address.plane,
+                                                     address.block))
+            for address in addresses)
+        duration += self.multiplane_overhead_ps * (len(addresses) - 1)
+        yield self.sim.timeout(duration)
+        self._end()
+        rbers = []
+        for address in addresses:
+            key = (address.plane, address.block)
+            self._wear_state(key).record_read()
+            rbers.append(self.rber(*key))
+        self.stats.counter("reads").increment(len(addresses))
+        self.stats.counter("multiplane_reads").increment()
+        return rbers
+
+    def erase_multiplane(self, blocks):
+        """Erase one block in each of several planes concurrently.
+
+        ``blocks`` is a list of (plane, block) pairs on distinct planes.
+        """
+        if len(blocks) < 2:
+            raise ValueError("multi-plane erase needs >= 2 blocks")
+        planes = [plane for plane, __ in blocks]
+        if len(set(planes)) != len(planes):
+            raise NandProtocolError(
+                f"{self.path()}: multi-plane erase needs distinct planes")
+        for plane, block in blocks:
+            self.geometry.validate(PageAddress(plane, block, 0))
+        self._begin(self.ERASING)
+        duration = max(
+            self.timing.erase_time(block, self.wear_fraction(plane, block))
+            for plane, block in blocks)
+        duration += self.multiplane_overhead_ps * (len(blocks) - 1)
+        yield self.sim.timeout(duration)
+        self._end()
+        for plane, block in blocks:
+            self._write_pointers[(plane, block)] = 0
+            self._wear_state((plane, block)).record_erase()
+        self.stats.counter("erases").increment(len(blocks))
+        self.stats.counter("multiplane_erases").increment()
+        return duration
+
+    def preload_block(self, plane: int, block: int,
+                      pages: Optional[int] = None) -> None:
+        """Mark a block as already programmed (zero simulated time).
+
+        Used to set up read workloads without simulating the fill pass —
+        the equivalent of shipping a pre-imaged drive to the testbench.
+        """
+        self.geometry.validate(PageAddress(plane, block, 0))
+        count = self.geometry.pages_per_block if pages is None else pages
+        if not 0 <= count <= self.geometry.pages_per_block:
+            raise ValueError(f"pages {count} out of range")
+        self._write_pointers[(plane, block)] = count
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _wear_state(self, key: Tuple[int, int]) -> BlockWearState:
+        state = self._wear.get(key)
+        if state is None:
+            state = self._wear[key] = BlockWearState()
+        return state
+
+    def _begin(self, new_state: str) -> None:
+        if self.state != self.IDLE:
+            raise NandProtocolError(
+                f"{self.path()}: command issued while die is {self.state}")
+        self.state = new_state
+        self._busy_tracker.set_busy()
+
+    def _end(self) -> None:
+        self.state = self.IDLE
+        self._busy_tracker.set_idle()
+
+    def utilization(self) -> float:
+        """Fraction of sim time the array spent busy."""
+        return self._busy_tracker.utilization()

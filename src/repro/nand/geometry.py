@@ -1,0 +1,115 @@
+"""NAND flash geometry.
+
+NAND devices are hierarchically organized in **dies, planes, blocks and
+pages** (paper, Section III-C3).  Program and read operate on pages; erase
+operates on whole blocks, which forbids in-place update and motivates the
+FTL / write-amplification machinery.
+
+The default geometry models a 4 KiB-page MLC part in the spirit of the
+Samsung K9-series device the paper cites, scaled so that capacity numbers
+stay manageable inside a pure-Python simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+
+class PageAddress(NamedTuple):
+    """Physical page coordinates inside one die."""
+
+    plane: int
+    block: int
+    page: int
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Shape of a single NAND die.
+
+    Attributes
+    ----------
+    planes_per_die:
+        Independent plane count (multi-plane commands operate in lockstep).
+    blocks_per_plane:
+        Erase blocks per plane.
+    pages_per_block:
+        Pages per erase block.
+    page_bytes:
+        User payload bytes per page.
+    spare_bytes:
+        Out-of-band bytes per page (holds ECC parity and FTL metadata).
+    """
+
+    planes_per_die: int = 2
+    blocks_per_plane: int = 2048
+    pages_per_block: int = 128
+    page_bytes: int = 4096
+    spare_bytes: int = 224
+
+    def __post_init__(self) -> None:
+        for field in ("planes_per_die", "blocks_per_plane", "pages_per_block",
+                      "page_bytes"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be >= 1, got {getattr(self, field)}")
+        if self.spare_bytes < 0:
+            raise ValueError(f"spare_bytes must be >= 0, got {self.spare_bytes}")
+
+    @property
+    def blocks_per_die(self) -> int:
+        return self.planes_per_die * self.blocks_per_plane
+
+    @property
+    def pages_per_die(self) -> int:
+        return self.blocks_per_die * self.pages_per_block
+
+    @property
+    def block_bytes(self) -> int:
+        return self.pages_per_block * self.page_bytes
+
+    @property
+    def die_bytes(self) -> int:
+        return self.pages_per_die * self.page_bytes
+
+    @property
+    def raw_page_bytes(self) -> int:
+        """Payload plus spare area — what actually crosses the ONFI bus."""
+        return self.page_bytes + self.spare_bytes
+
+    def page_index(self, address: PageAddress) -> int:
+        """Flatten a page address to a die-local linear page number."""
+        self.validate(address)
+        return ((address.plane * self.blocks_per_plane + address.block)
+                * self.pages_per_block + address.page)
+
+    def address_of(self, page_index: int) -> PageAddress:
+        """Inverse of :meth:`page_index`."""
+        if not 0 <= page_index < self.pages_per_die:
+            raise ValueError(f"page index {page_index} out of range "
+                             f"[0, {self.pages_per_die})")
+        page = page_index % self.pages_per_block
+        block_linear = page_index // self.pages_per_block
+        block = block_linear % self.blocks_per_plane
+        plane = block_linear // self.blocks_per_plane
+        return PageAddress(plane, block, page)
+
+    def validate(self, address: PageAddress) -> None:
+        """Raise ValueError if the address is outside this geometry."""
+        if not 0 <= address.plane < self.planes_per_die:
+            raise ValueError(f"plane {address.plane} out of range")
+        if not 0 <= address.block < self.blocks_per_plane:
+            raise ValueError(f"block {address.block} out of range")
+        if not 0 <= address.page < self.pages_per_block:
+            raise ValueError(f"page {address.page} out of range")
+
+    def iter_blocks(self) -> Iterator[tuple]:
+        """Yield every (plane, block) pair."""
+        for plane in range(self.planes_per_die):
+            for block in range(self.blocks_per_plane):
+                yield plane, block
+
+
+#: Geometry used across the paper-reproduction experiments: 4 KiB MLC pages,
+#: sized so one die holds 1 GiB of user data.
+DEFAULT_GEOMETRY = NandGeometry()

@@ -1,0 +1,90 @@
+"""ONFI command-set tables: exact cycle counts per operation.
+
+A refinement under :class:`~repro.nand.onfi.OnfiTiming`'s generic
+command/address model: the actual ONFI 2.x command sequences with their
+opcode and address cycles, so bus occupancy can be computed per operation
+type rather than with one generic figure.
+
+===========================  =======================================
+operation                    sequence
+===========================  =======================================
+PAGE READ                    00h, 5 addr, 30h ... tR ... data out
+PAGE PROGRAM                 80h, 5 addr, data in, 10h ... tPROG
+BLOCK ERASE                  60h, 3 addr, D0h ... tBERS
+READ STATUS                  70h, 1 data cycle
+RESET                        FFh
+MULTI-PLANE PAGE PROGRAM     80h,5,data,11h per plane; 10h on the last
+MULTI-PLANE READ             00h,5,00h,5,...,30h
+===========================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .onfi import OnfiTiming
+
+
+@dataclass(frozen=True)
+class OnfiCommandSpec:
+    """Bus cycles of one command sequence (excluding payload data)."""
+
+    name: str
+    command_cycles: int     # opcode bytes on the bus
+    address_cycles: int     # address bytes on the bus
+    status_cycles: int = 0  # status polls folded into the sequence
+
+    @property
+    def total_cycles(self) -> int:
+        return self.command_cycles + self.address_cycles + self.status_cycles
+
+
+#: The ONFI 2.x command set used by the platform.
+COMMAND_SET: Dict[str, OnfiCommandSpec] = {
+    "page_read": OnfiCommandSpec("page_read", command_cycles=2,
+                                 address_cycles=5, status_cycles=1),
+    "page_program": OnfiCommandSpec("page_program", command_cycles=2,
+                                    address_cycles=5, status_cycles=1),
+    "block_erase": OnfiCommandSpec("block_erase", command_cycles=2,
+                                   address_cycles=3, status_cycles=1),
+    "read_status": OnfiCommandSpec("read_status", command_cycles=1,
+                                   address_cycles=0, status_cycles=1),
+    "reset": OnfiCommandSpec("reset", command_cycles=1, address_cycles=0),
+}
+
+
+def command_bus_time_ps(operation: str, timing: OnfiTiming,
+                        planes: int = 1) -> int:
+    """Bus occupancy of one command sequence (no payload), in ps.
+
+    ``planes > 1`` models the interleaved multi-plane form: the command
+    and address cycles repeat per plane (80h/11h chaining, or the
+    multi-plane read's repeated 00h/addr groups).
+    """
+    spec = COMMAND_SET.get(operation)
+    if spec is None:
+        raise ValueError(f"unknown ONFI operation {operation!r}; "
+                         f"choose from {sorted(COMMAND_SET)}")
+    if planes < 1:
+        raise ValueError("planes must be >= 1")
+    per_plane = spec.command_cycles + spec.address_cycles
+    cycles = per_plane * planes + spec.status_cycles
+    return cycles * timing.cycle_ps + timing.overhead_ps
+
+
+def sequence_description(operation: str, planes: int = 1) -> str:
+    """Human-readable sequence (for traces and documentation)."""
+    templates = {
+        "page_read": "00h + 5 addr + 30h",
+        "page_program": "80h + 5 addr + data + 10h",
+        "block_erase": "60h + 3 addr + D0h",
+        "read_status": "70h + status",
+        "reset": "FFh",
+    }
+    base = templates.get(operation)
+    if base is None:
+        raise ValueError(f"unknown ONFI operation {operation!r}")
+    if planes > 1:
+        return f"{base} (x{planes} planes, 11h-chained)"
+    return base

@@ -1,0 +1,125 @@
+"""NAND array-operation timing.
+
+The paper models an MLC technology with
+
+* ``t_PROG``  ranging from 900 us to 3 ms (page-position dependent),
+* ``t_READ``  of 60 us, and
+* ``t_BERS``  ranging from 1 ms to 10 ms (wear dependent),
+
+citing the Samsung K9XXG08UXM datasheet and NANDFlashSim's intrinsic-latency
+variation modeling.  We reproduce that variation deterministically:
+
+* MLC pages are paired — even pages map to fast (LSB-like) programming,
+  odd pages to slow (MSB-like) programming.  A small per-block jitter,
+  derived from a hash of the block index, spreads values across the band
+  without requiring a random number generator (keeping runs reproducible).
+* Erase time starts at ``t_bers_min`` for a fresh block and climbs toward
+  ``t_bers_max`` as program/erase cycles accumulate.
+* Wear also slows programming slightly (charge trapping requires more
+  verify pulses near end of life).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernel.simtime import ms, us
+
+
+def _block_jitter(block: int) -> float:
+    """Deterministic pseudo-jitter in [0, 1) from a block index."""
+    # Simple integer hash (xorshift-multiply); avoids RNG state on purpose.
+    value = (block * 2654435761) & 0xFFFFFFFF
+    value ^= value >> 16
+    return (value & 0xFFFF) / 65536.0
+
+
+@dataclass(frozen=True)
+class MlcTimingModel:
+    """Parametric MLC timing with intrinsic latency variation.
+
+    All durations are returned in picoseconds.
+    """
+
+    t_read_ps: int = us(60)
+    t_prog_fast_ps: int = us(900)
+    t_prog_slow_ps: int = ms(3)
+    t_bers_min_ps: int = ms(1)
+    t_bers_max_ps: int = ms(10)
+    #: Fractional tPROG slowdown at rated endurance (wear=1.0).
+    prog_wear_slope: float = 0.12
+    #: Fraction of the fast/slow band covered by per-block jitter.
+    jitter_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.t_prog_fast_ps > self.t_prog_slow_ps:
+            raise ValueError("t_prog_fast_ps must not exceed t_prog_slow_ps")
+        if self.t_bers_min_ps > self.t_bers_max_ps:
+            raise ValueError("t_bers_min_ps must not exceed t_bers_max_ps")
+        if self.t_read_ps <= 0:
+            raise ValueError("t_read_ps must be positive")
+
+    def read_time(self, page: int = 0, wear: float = 0.0) -> int:
+        """Array-to-register sense time (page position independent)."""
+        return self.t_read_ps
+
+    def program_time(self, page: int, block: int = 0, wear: float = 0.0) -> int:
+        """Register-to-array program time for one page.
+
+        Even (LSB-paired) pages program near the fast corner; odd (MSB)
+        pages near the slow corner, with deterministic per-block jitter and
+        a mild wear slowdown.
+        """
+        band = self.t_prog_slow_ps - self.t_prog_fast_ps
+        if page % 2 == 0:
+            base = self.t_prog_fast_ps
+        else:
+            base = self.t_prog_slow_ps - int(band * self.jitter_fraction)
+        jitter = int(band * self.jitter_fraction * _block_jitter(block * 131 + page))
+        duration = base + jitter
+        duration = int(duration * (1.0 + self.prog_wear_slope * max(0.0, wear)))
+        return min(duration, int(self.t_prog_slow_ps * (1.0 + self.prog_wear_slope)))
+
+    def erase_time(self, block: int = 0, wear: float = 0.0) -> int:
+        """Block erase time; grows from the min toward the max with wear."""
+        wear = min(max(wear, 0.0), 1.0)
+        band = self.t_bers_max_ps - self.t_bers_min_ps
+        jitter = int(band * 0.05 * _block_jitter(block))
+        return self.t_bers_min_ps + int(band * wear) + jitter
+
+    def mean_program_time(self, wear: float = 0.0) -> int:
+        """Average tPROG over a page pair (used by analytic estimates)."""
+        fast = self.program_time(0, 0, wear)
+        slow = self.program_time(1, 0, wear)
+        return (fast + slow) // 2
+
+    @classmethod
+    def slc(cls) -> "MlcTimingModel":
+        """Single-level-cell corner: fast, uniform programming.
+
+        Representative of SLC parts of the era (tPROG ~200-300 us,
+        tREAD ~25 us, tBERS ~0.7-2 ms).
+        """
+        return cls(t_read_ps=us(25), t_prog_fast_ps=us(200),
+                   t_prog_slow_ps=us(300), t_bers_min_ps=us(700),
+                   t_bers_max_ps=ms(2), prog_wear_slope=0.05)
+
+    @classmethod
+    def mlc(cls) -> "MlcTimingModel":
+        """The paper's 2-bit MLC corner (the class default)."""
+        return cls()
+
+    @classmethod
+    def tlc(cls) -> "MlcTimingModel":
+        """Triple-level-cell corner: slower and more page-type spread.
+
+        Representative of early TLC (tPROG up to ~5 ms on the slow pages,
+        tREAD ~90 us, tBERS up to ~15 ms).
+        """
+        return cls(t_read_ps=us(90), t_prog_fast_ps=ms(1.2),
+                   t_prog_slow_ps=ms(5), t_bers_min_ps=ms(2),
+                   t_bers_max_ps=ms(15), prog_wear_slope=0.18)
+
+
+#: The timing instance used throughout the paper experiments.
+DEFAULT_TIMING = MlcTimingModel()

@@ -1,0 +1,112 @@
+"""Wear-out and raw bit error rate (RBER) modeling.
+
+The Fig. 5 experiment of the paper sweeps "normalized rated endurance"
+(P/E cycles divided by the rated endurance of the MLC part) and observes the
+SSD-level throughput consequences through the ECC subsystem.  This module
+provides:
+
+* :class:`WearModel` — RBER as a function of P/E cycles.  MLC RBER growth is
+  well described by a power law ``RBER(pe) = rber_fresh + a * pe^b``
+  (Mielke et al. / the cross-layer characterization the paper cites in
+  [22]); we use an exponent of 2 with coefficients calibrated so that a
+  40-bit-per-1KiB BCH code is exactly exhausted at rated endurance.
+* :class:`BlockWearState` — per-block program/erase accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WearModel:
+    """Raw bit error rate versus program/erase cycles.
+
+    ``RBER(pe) = rber_fresh + growth * (pe / rated_endurance)**exponent``
+
+    The defaults are calibrated for a 2-bit MLC part rated for 3000 P/E
+    cycles protected by BCH over 1 KiB codewords: a fresh device needs only
+    a handful of correctable bits, while at rated endurance the required
+    correction capability reaches 40 bits — the fixed-BCH worst case used
+    in the paper's Fig. 5.
+    """
+
+    rated_endurance: int = 3000
+    rber_fresh: float = 1.0e-6
+    rber_growth: float = 1.35e-3
+    exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rated_endurance < 1:
+            raise ValueError("rated_endurance must be >= 1")
+        if self.rber_fresh < 0 or self.rber_growth < 0:
+            raise ValueError("RBER coefficients must be non-negative")
+
+    def rber(self, pe_cycles: int) -> float:
+        """Raw bit error rate after ``pe_cycles`` program/erase cycles."""
+        if pe_cycles < 0:
+            raise ValueError(f"pe_cycles must be >= 0, got {pe_cycles}")
+        wear = pe_cycles / self.rated_endurance
+        return self.rber_fresh + self.rber_growth * wear ** self.exponent
+
+    def normalized(self, pe_cycles: int) -> float:
+        """P/E cycles expressed as a fraction of rated endurance."""
+        return pe_cycles / self.rated_endurance
+
+    def pe_for_normalized(self, fraction: float) -> int:
+        """Inverse of :meth:`normalized` (clamped at zero)."""
+        return max(0, int(round(fraction * self.rated_endurance)))
+
+    def required_correction(self, pe_cycles: int, codeword_bits: int,
+                            target_page_fail_prob: float = 1e-11) -> int:
+        """Correction capability ``t`` needed for a codeword at this wear.
+
+        Bit errors in a codeword of ``codeword_bits`` bits with error
+        probability ``p`` are binomial; we use the Poisson-tail bound
+        (mean ``m = p * n``) and pick the smallest ``t`` such that
+        ``P[errors > t] <= target_page_fail_prob``.
+        """
+        if codeword_bits < 1:
+            raise ValueError("codeword_bits must be >= 1")
+        mean = self.rber(pe_cycles) * codeword_bits
+        if mean == 0:
+            return 0
+        # P[X > t] for Poisson(mean): 1 - CDF(t); iterate terms directly.
+        term = math.exp(-mean)
+        cdf = term
+        t = 0
+        while 1.0 - cdf > target_page_fail_prob:
+            t += 1
+            term *= mean / t
+            cdf += term
+            if t > 512:
+                raise ValueError(
+                    f"RBER {self.rber(pe_cycles):.3g} is uncorrectable for "
+                    f"{codeword_bits}-bit codewords")
+        return t
+
+
+class BlockWearState:
+    """Program/erase accounting for one erase block."""
+
+    __slots__ = ("pe_cycles", "programmed_pages", "reads")
+
+    def __init__(self) -> None:
+        self.pe_cycles = 0
+        self.programmed_pages = 0
+        self.reads = 0
+
+    def record_erase(self) -> None:
+        self.pe_cycles += 1
+        self.programmed_pages = 0
+
+    def record_program(self) -> None:
+        self.programmed_pages += 1
+
+    def record_read(self) -> None:
+        self.reads += 1
+
+
+#: Default wear model shared by the experiments.
+DEFAULT_WEAR = WearModel()

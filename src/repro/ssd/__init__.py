@@ -1,0 +1,19 @@
+"""The integrated SSD virtual platform: architecture configuration, the
+device model wiring every subsystem together, measurement scenarios and
+workload-run metrics."""
+
+from .architecture import (CachePolicy, CpuMode, SsdArchitecture,
+                           from_config, parse_geometry_label)
+from .device import DataPathMode, SsdDevice
+from .energy import DEFAULT_ENERGY, EnergyModel
+from .ftl_device import FtlSsdDevice
+from .metrics import RunResult, collect_utilizations, run_workload
+from .scenarios import BreakdownRow, breakdown, host_ideal_mbps, measure
+
+__all__ = [
+    "BreakdownRow", "CachePolicy", "CpuMode", "DEFAULT_ENERGY",
+    "DataPathMode", "EnergyModel", "FtlSsdDevice", "RunResult",
+    "SsdArchitecture", "SsdDevice",
+    "breakdown", "collect_utilizations", "from_config", "host_ideal_mbps",
+    "measure", "parse_geometry_label", "run_workload",
+]

@@ -1,0 +1,220 @@
+"""SSD architecture configuration.
+
+One :class:`SsdArchitecture` value describes a complete design point in the
+SSDExplorer exploration space: buffer/channel/way/die counts (the Table
+II/III axes), host interface, DRAM and ONFI speeds, ECC scheme, compressor
+placement, gang scheme, cache policy, CPU model and FTL/WAF settings.
+
+Configurations can also be loaded from the "simple text configuration
+file" format (see :func:`from_config`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from ..compression import CompressorModel, CompressorPlacement
+from ..controller import GangScheme
+from ..dram.timing import Ddr2Timing
+from ..ecc import AdaptiveBch, EccScheme, FixedBch
+from ..ftl import WafModel
+from ..host.interface import (HostInterfaceSpec, pcie_nvme_spec, sata2_spec)
+from ..nand.geometry import NandGeometry
+from ..nand.onfi import OnfiTiming
+from ..nand.timing import MlcTimingModel
+from ..nand.wear import WearModel
+
+
+class CachePolicy(enum.Enum):
+    """DRAM buffer management policy (paper, Section IV-A).
+
+    CACHING: completion is signaled once data reaches the DRAM buffers.
+    NO_CACHING: completion waits until data is programmed into NAND.
+    """
+
+    CACHING = "cache"
+    NO_CACHING = "no-cache"
+
+
+class CpuMode(enum.Enum):
+    """How firmware cost is modeled."""
+
+    ABSTRACT = "abstract"     # parametric per-command cycles
+    FIRMWARE = "firmware"     # real FW-RISC dispatch loop
+
+
+@dataclass(frozen=True)
+class SsdArchitecture:
+    """A complete SSD design point."""
+
+    n_channels: int = 4
+    n_ways: int = 4
+    dies_per_way: int = 2
+    n_ddr_buffers: int = 4
+    host: HostInterfaceSpec = field(default_factory=sata2_spec)
+    cache_policy: CachePolicy = CachePolicy.CACHING
+    geometry: NandGeometry = field(default_factory=NandGeometry)
+    nand_timing: MlcTimingModel = field(default_factory=MlcTimingModel)
+    wear_model: WearModel = field(default_factory=WearModel)
+    onfi_timing: OnfiTiming = field(default_factory=OnfiTiming.asynchronous)
+    dram_timing: Ddr2Timing = field(default_factory=Ddr2Timing)
+    ecc: EccScheme = field(default_factory=FixedBch)
+    compressor: CompressorModel = field(default_factory=CompressorModel)
+    waf: WafModel = field(default_factory=WafModel)
+    gang_scheme: GangScheme = GangScheme.SHARED_BUS
+    cpu_mode: CpuMode = CpuMode.ABSTRACT
+    cpu_cores: int = 1
+    cpu_cycles_per_command: int = 0   # 0 = calibrated default
+    initial_pe_cycles: int = 0
+    buffer_capacity_bytes: int = 1 << 20   # write-cache share per buffer
+    dram_refresh: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("n_channels", "n_ways", "dies_per_way", "n_ddr_buffers",
+                     "cpu_cores"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.n_ddr_buffers > self.n_channels:
+            raise ValueError("n_ddr_buffers cannot exceed n_channels "
+                             "(paper, Section III-C2)")
+        if self.initial_pe_cycles < 0:
+            raise ValueError("initial_pe_cycles must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_dies(self) -> int:
+        return self.n_channels * self.n_ways * self.dies_per_way
+
+    @property
+    def label(self) -> str:
+        """Table II style label, e.g. '4-DDR-buf;4-CHN;4-WAY;2-DIE'."""
+        return (f"{self.n_ddr_buffers}-DDR-buf;{self.n_channels}-CHN;"
+                f"{self.n_ways}-WAY;{self.dies_per_way}-DIE")
+
+    @property
+    def user_capacity_bytes(self) -> int:
+        return self.total_dies * self.geometry.die_bytes
+
+    def with_host(self, host: HostInterfaceSpec) -> "SsdArchitecture":
+        return replace(self, host=host)
+
+    def with_cache_policy(self, policy: CachePolicy) -> "SsdArchitecture":
+        return replace(self, cache_policy=policy)
+
+    def scaled(self, **overrides: Any) -> "SsdArchitecture":
+        """Convenience wrapper around :func:`dataclasses.replace`."""
+        return replace(self, **overrides)
+
+
+def parse_geometry_label(label: str) -> Dict[str, int]:
+    """Parse a Table II label like '8-DDR-buf;8-CHN;4-WAY;2-DIE'."""
+    parts = {}
+    for chunk in label.split(";"):
+        value, __, kind = chunk.partition("-")
+        kind = kind.strip().upper()
+        try:
+            number = int(value)
+        except ValueError:
+            raise ValueError(f"bad geometry chunk {chunk!r}") from None
+        if kind.startswith("DDR"):
+            parts["n_ddr_buffers"] = number
+        elif kind == "CHN":
+            parts["n_channels"] = number
+        elif kind == "WAY":
+            parts["n_ways"] = number
+        elif kind == "DIE":
+            parts["dies_per_way"] = number
+        else:
+            raise ValueError(f"bad geometry chunk {chunk!r}")
+    missing = {"n_ddr_buffers", "n_channels", "n_ways",
+               "dies_per_way"} - set(parts)
+    if missing:
+        raise ValueError(f"label {label!r} missing {sorted(missing)}")
+    return parts
+
+
+def from_config(config: Dict[str, Any],
+                base: Optional[SsdArchitecture] = None) -> SsdArchitecture:
+    """Build an architecture from a flat config dict (see kernel.config).
+
+    Recognized keys (all optional, defaults from ``base``)::
+
+        geometry.label      = 8-DDR-buf;8-CHN;4-WAY;2-DIE
+        host.kind           = sata2 | pcie
+        host.pcie_gen       = 2
+        host.pcie_lanes     = 8
+        host.queue_depth    = 32
+        policy.cache        = true
+        ecc.kind            = fixed | adaptive
+        ecc.t               = 40
+        compressor.placement = none | host | channel
+        compressor.ratio    = 2.0
+        gang.scheme         = shared-bus | shared-control
+        cpu.mode            = abstract | firmware
+        cpu.cores           = 1
+        ftl.random_waf      = 3.0
+        nand.initial_pe     = 0
+    """
+    arch = base or SsdArchitecture()
+    overrides: Dict[str, Any] = {}
+
+    label = config.get("geometry.label")
+    if label:
+        overrides.update(parse_geometry_label(str(label)))
+
+    host_kind = config.get("host.kind")
+    if host_kind in ("sata", "sata1", "sata2", "sata3"):
+        from ..host.interface import sata_spec
+        if host_kind == "sata":
+            generation = int(config.get("host.sata_gen", 2))
+        else:
+            generation = int(host_kind[4:])
+        overrides["host"] = sata_spec(
+            generation=generation,
+            queue_depth=int(config.get("host.queue_depth", 32)))
+    elif host_kind == "pcie":
+        overrides["host"] = pcie_nvme_spec(
+            generation=int(config.get("host.pcie_gen", 2)),
+            lanes=int(config.get("host.pcie_lanes", 8)),
+            queue_depth=int(config.get("host.queue_depth", 65536)))
+    elif host_kind is not None:
+        raise ValueError(f"unknown host.kind {host_kind!r}")
+
+    if "policy.cache" in config:
+        overrides["cache_policy"] = (CachePolicy.CACHING
+                                     if config["policy.cache"]
+                                     else CachePolicy.NO_CACHING)
+
+    ecc_kind = config.get("ecc.kind")
+    if ecc_kind == "fixed":
+        overrides["ecc"] = FixedBch(t=int(config.get("ecc.t", 40)))
+    elif ecc_kind == "adaptive":
+        overrides["ecc"] = AdaptiveBch()
+    elif ecc_kind is not None:
+        raise ValueError(f"unknown ecc.kind {ecc_kind!r}")
+
+    placement = config.get("compressor.placement")
+    if placement is not None:
+        overrides["compressor"] = CompressorModel(
+            CompressorPlacement(placement),
+            ratio=float(config.get("compressor.ratio", 2.0)))
+
+    scheme = config.get("gang.scheme")
+    if scheme is not None:
+        overrides["gang_scheme"] = GangScheme(scheme)
+
+    cpu_mode = config.get("cpu.mode")
+    if cpu_mode is not None:
+        overrides["cpu_mode"] = CpuMode(cpu_mode)
+    if "cpu.cores" in config:
+        overrides["cpu_cores"] = int(config["cpu.cores"])
+
+    if "ftl.random_waf" in config:
+        overrides["waf"] = WafModel(
+            random_waf=float(config["ftl.random_waf"]))
+    if "nand.initial_pe" in config:
+        overrides["initial_pe_cycles"] = int(config["nand.initial_pe"])
+
+    return arch.scaled(**overrides) if overrides else arch

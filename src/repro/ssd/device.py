@@ -1,0 +1,432 @@
+"""The integrated SSD virtual platform.
+
+:class:`SsdDevice` instantiates the full architecture template of the
+paper's Fig. 1 — host interface, DRAM data buffers, CPU (+AHB), channel/way
+controllers with their ONFI gangs, NAND dies, ECC engines, optional
+compressors — and implements the command data paths:
+
+**Write**: host link -> [host-side compressor] -> DRAM buffer (reserve +
+DDR2 write) -> *completion here under the caching policy* -> PP-DMA pull
+(DDR2 read) -> [channel-side compressor] -> ECC encode -> ONFI data-in ->
+array program -> *completion here under no-caching* -> buffer space free.
+GC traffic charged by the WAF model runs as background relocations and
+erases on the same channel resources.
+
+**Read**: CPU dispatch -> array sense -> ONFI data-out -> ECC decode ->
+DRAM buffer -> host link return.
+
+A :class:`DataPathMode` selects the measurement scope used for the Fig. 3/4
+breakdown bars (host+DDR only / DDR+flash only / full pipeline).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..compression import CompressorPlacement
+from ..controller import ChannelWayController
+from ..cpu.firmware import AbstractCpu, FirmwareCpu
+from ..dram import BufferManager
+from ..host import HostInterface, IoCommand, IoOpcode
+from ..interconnect import AhbBus
+from ..kernel import Component, Resource, Simulator
+from ..kernel.tracing import trace
+from ..nand.geometry import PageAddress
+from .architecture import CachePolicy, CpuMode, SsdArchitecture
+
+
+class DataPathMode(enum.Enum):
+    """Which portion of the pipeline a run exercises (Fig. 3/4 bars)."""
+
+    FULL = "full"                 # SSD cache / SSD no cache bars
+    HOST_DDR = "host+ddr"         # SATA+DDR / PCIE+DDR bars
+    DDR_FLASH = "ddr+flash"       # DDR+FLASH bar (no host interface)
+
+
+class SsdDevice(Component):
+    """A simulated SSD built from an :class:`SsdArchitecture`."""
+
+    def __init__(self, sim: Simulator, arch: SsdArchitecture,
+                 name: str = "ssd",
+                 mode: DataPathMode = DataPathMode.FULL,
+                 parent: Optional[Component] = None):
+        super().__init__(sim, name, parent)
+        self.arch = arch
+        self.mode = mode
+
+        self.hostif = HostInterface(sim, arch.host, parent=self)
+        self.buffers = BufferManager(
+            sim, "buffers", arch.n_ddr_buffers, arch.dram_timing,
+            arch.n_channels,
+            capacity_bytes_per_buffer=arch.buffer_capacity_bytes,
+            parent=self, enable_refresh=arch.dram_refresh)
+
+        self.ahb = AhbBus(sim, "ahb", parent=self)
+        if arch.cpu_mode is CpuMode.FIRMWARE:
+            self.cpu = FirmwareCpu(sim, "cpu", ahb=self.ahb, parent=self)
+        else:
+            self.cpu = AbstractCpu(
+                sim, "cpu", cycles_per_command=arch.cpu_cycles_per_command,
+                n_cores=arch.cpu_cores, parent=self)
+
+        self.channels: List[ChannelWayController] = [
+            ChannelWayController(
+                sim, f"chn{c}", arch.n_ways, arch.dies_per_way,
+                arch.geometry, arch.nand_timing, arch.wear_model,
+                arch.onfi_timing, arch.ecc, gang_scheme=arch.gang_scheme,
+                initial_pe_cycles=arch.initial_pe_cycles, parent=self)
+            for c in range(arch.n_channels)
+        ]
+
+        # One compression engine instance at whichever placement is active.
+        self._compressor = arch.compressor
+        self._compress_engine = Resource(sim, f"{name}.gzip", capacity=1)
+
+        # Round-robin die striping state and per-die page allocation.
+        self._stripe = 0
+        self._die_cursor: Dict[Tuple[int, int, int], int] = {}
+        # Independent read addressing (never perturbs the write pointers).
+        self._read_cursor: Dict[Tuple[int, int, int], int] = {}
+        # Per-die program-order locks: allocation and array program must be
+        # atomic per die or concurrent writers would violate the NAND
+        # sequential-programming rule.
+        self._write_order: Dict[Tuple[int, int, int], Resource] = {}
+        # Fractional GC work carried between commands, per pattern.
+        self._gc_carry: Dict[str, float] = {}
+        self._erase_carry: Dict[str, float] = {}
+        # Sub-page packing buffer per channel (compressed payloads).
+        self._pack_fill: Dict[int, int] = {}
+        # Per-channel program rotor: full pages coming out of the fill
+        # buffer rotate over the channel's dies independently of which
+        # command triggered them (avoids parity artifacts between packing
+        # and command striping).
+        self._program_rotor: Dict[int, int] = {}
+        self._gc_die = 0
+
+        self.commands_completed = 0
+        self.bytes_completed = 0
+        self.last_completion_ps = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def next_target(self) -> Tuple[int, int, int]:
+        """Round-robin (channel, way, die) striping."""
+        arch = self.arch
+        index = self._stripe
+        self._stripe = (self._stripe + 1) % arch.total_dies
+        channel = index % arch.n_channels
+        way = (index // arch.n_channels) % arch.n_ways
+        die = (index // (arch.n_channels * arch.n_ways)) % arch.dies_per_way
+        return channel, way, die
+
+    def _next_page(self, target: Tuple[int, int, int]) -> PageAddress:
+        """Sequential page allocation on a die (WAF-abstracted FTL).
+
+        When the die wraps, blocks are recycled without timed erases —
+        erase time is charged by the WAF model instead, avoiding double
+        counting.
+        """
+        geometry = self.arch.geometry
+        cursor = self._die_cursor.get(target, 0)
+        self._die_cursor[target] = (cursor + 1) % geometry.pages_per_die
+        address = geometry.address_of(cursor)
+        if address.page == 0:
+            channel, way, die_index = target
+            die = self.channels[channel].die(way, die_index)
+            if die.write_pointer(address.plane, address.block) != 0:
+                die.preload_block(address.plane, address.block, 0)
+        return address
+
+    def _next_read_page(self, target: Tuple[int, int, int]) -> PageAddress:
+        """Sequential read addressing, independent of the write cursor."""
+        geometry = self.arch.geometry
+        cursor = self._read_cursor.get(target, 0)
+        self._read_cursor[target] = (cursor + 1) % geometry.pages_per_die
+        return geometry.address_of(cursor)
+
+    def _program_target(self, channel_index: int) -> Tuple[int, int, int]:
+        """Next (channel, way, die) for a page programmed on a channel."""
+        arch = self.arch
+        rotor = self._program_rotor.get(channel_index, 0)
+        self._program_rotor[channel_index] = \
+            (rotor + 1) % (arch.n_ways * arch.dies_per_way)
+        way = rotor % arch.n_ways
+        die_index = rotor // arch.n_ways
+        return channel_index, way, die_index
+
+    def _write_lock(self, target: Tuple[int, int, int]) -> Resource:
+        lock = self._write_order.get(target)
+        if lock is None:
+            lock = self._write_order[target] = Resource(
+                self.sim, f"worder{target}", capacity=1)
+        return lock
+
+    def warm_start_cache(self, pattern: str = "sequential") -> None:
+        """Pre-fill the DRAM write cache and enqueue its flush backlog.
+
+        Puts a caching-policy run into steady state from t=0: the host can
+        only make progress as the flush backlog drains, which is exactly
+        the sustained regime the paper's "SSD cache" bars report — without
+        simulating the long cache-fill transient.
+        """
+        page_bytes = self.arch.geometry.page_bytes
+        per_buffer_pages = self.buffers.capacity_bytes // page_bytes
+        total_pages = per_buffer_pages * self.buffers.n_buffers
+        filled = 0
+        attempts = 0
+        while filled < total_pages and attempts < 4 * total_pages:
+            attempts += 1
+            placement = self.next_target()
+            buffer_index = self.buffers.buffer_for_channel(placement[0])
+            if (self.buffers.occupancy(buffer_index) + page_bytes
+                    > self.buffers.capacity_bytes):
+                continue
+            self.buffers._occupancy[buffer_index] += page_bytes
+            self.sim.process(self._flush(placement, buffer_index,
+                                         page_bytes, pattern))
+            filled += 1
+
+    def preload_for_reads(self) -> None:
+        """Mark the allocation cursor region as programmed so read
+        workloads hit valid pages (pre-imaged drive)."""
+        for channel in self.channels:
+            for way_dies in channel.dies:
+                for die in way_dies:
+                    for plane, block in die.geometry.iter_blocks():
+                        die.preload_block(plane, block)
+
+    # ------------------------------------------------------------------
+    # Compression helpers
+    # ------------------------------------------------------------------
+    def _compress(self, nbytes: int, placement: CompressorPlacement):
+        """Generator: pay engine time if a compressor sits at placement."""
+        model = self._compressor
+        if model.placement is not placement:
+            return nbytes
+        grant = self._compress_engine.acquire()
+        yield grant
+        yield self.sim.timeout(model.latency_ps(nbytes))
+        self._compress_engine.release(grant)
+        return model.output_bytes(nbytes)
+
+    # ------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------
+    def execute(self, command: IoCommand, pattern: str = "sequential"):
+        """Generator: run one command through the configured data path."""
+        command.issue_time_ps = self.sim.now
+        if command.opcode is IoOpcode.WRITE:
+            yield from self._write_flow(command, pattern)
+        elif command.opcode is IoOpcode.READ:
+            yield from self._read_flow(command)
+        elif command.opcode is IoOpcode.TRIM:
+            yield from self._trim_flow(command)
+        else:  # FLUSH: barrier semantics are a no-op in WAF mode
+            yield self.sim.timeout(0)
+            self._complete(command, count_bytes=False)
+
+    # -- write ----------------------------------------------------------
+    def _write_flow(self, command: IoCommand, pattern: str):
+        sim = self.sim
+        nbytes = command.nbytes
+
+        if self.mode is not DataPathMode.DDR_FLASH:
+            yield from self.hostif.transfer(nbytes)
+        command.submit_time_ps = sim.now
+
+        nbytes = yield from self._compress(nbytes,
+                                           CompressorPlacement.HOST_INTERFACE)
+
+        placement = self.next_target()
+        channel_index, way, die_index = placement
+        yield from self.cpu.process_command(
+            command.opcode.value, command.lba, command.sectors,
+            {"channel": channel_index, "way": way, "die": die_index})
+
+        buffer_index = self.buffers.buffer_for_channel(channel_index)
+        yield from self.buffers.reserve(buffer_index, nbytes)
+        yield from self.buffers.write(buffer_index, nbytes)
+
+        if self.mode is DataPathMode.HOST_DDR:
+            self.buffers.release(buffer_index, nbytes)
+            self._complete(command)
+            return
+
+        # DDR+FLASH measures the drain itself, so completion always waits
+        # for the program, whatever the cache policy says.
+        wait_for_flash = (self.mode is DataPathMode.DDR_FLASH
+                          or self.arch.cache_policy is CachePolicy.NO_CACHING)
+        if wait_for_flash:
+            yield sim.process(self._flush(placement, buffer_index, nbytes,
+                                          pattern, command=command))
+            self._complete(command)
+        else:
+            self._complete(command)
+            sim.process(self._flush(placement, buffer_index, nbytes,
+                                    pattern, command=command))
+
+    def _flush(self, placement: Tuple[int, int, int], buffer_index: int,
+               nbytes: int, pattern: str, command=None):
+        """Drain one command's payload from DRAM into NAND.
+
+        ``command`` carries per-command context for subclasses (the real
+        FTL variant derives the logical page from it); the WAF-abstracted
+        path does not need it.
+        """
+        sim = self.sim
+        channel_index = placement[0]
+        controller = self.channels[channel_index]
+
+        flash_bytes = yield from self._compress(
+            nbytes, CompressorPlacement.CHANNEL_WAY)
+        page_bytes = self.arch.geometry.page_bytes
+        # Compressed payloads pack into the channel's fill buffer; a page
+        # is programmed only once a full page of data has accumulated.
+        fill = self._pack_fill.get(channel_index, 0) + flash_bytes
+        pages = fill // page_bytes
+        self._pack_fill[channel_index] = fill - pages * page_bytes
+        def page_job(target):
+            # PP-DMA pulls the page out of the DRAM buffer...
+            yield sim.process(controller.ppdma.execute(
+                self.buffers.read(buffer_index, page_bytes),
+                nbytes=page_bytes))
+            # ...then the controller encodes, transfers and programs it;
+            # allocation + program are atomic per die.
+            __, way, die_index = target
+            order = self._write_lock(target)
+            grant = order.acquire()
+            yield grant
+            try:
+                address = self._next_page(target)
+                yield sim.process(controller.program_page(way, die_index,
+                                                          address))
+            finally:
+                order.release(grant)
+
+        # A multi-page command stripes its pages over the channel's dies
+        # in parallel (the target rotates per channel, decoupled from
+        # command striping).
+        handles = [sim.process(page_job(self._program_target(channel_index)))
+                   for __ in range(pages)]
+        if handles:
+            yield sim.all_of(handles)
+        # The WAF model's GC share blocks this flush (Hu et al.: the FTL's
+        # "blocking time"), so write cache space stays held until the
+        # amplified traffic has been served.
+        relocations, erases = self._gc_quota(pattern, pages)
+        if relocations or erases:
+            yield sim.process(self._gc_work(placement[0], relocations,
+                                            erases))
+        self.buffers.release(buffer_index, nbytes)
+
+    # -- read -----------------------------------------------------------
+    def _read_flow(self, command: IoCommand):
+        sim = self.sim
+        command.submit_time_ps = sim.now
+
+        placement = self.next_target()
+        channel_index, way, die_index = placement
+        controller = self.channels[channel_index]
+        yield from self.cpu.process_command(
+            command.opcode.value, command.lba, command.sectors,
+            {"channel": channel_index, "way": way, "die": die_index})
+
+        page_bytes = self.arch.geometry.page_bytes
+        pages = -(-command.nbytes // page_bytes)
+        buffer_index = self.buffers.buffer_for_channel(channel_index)
+        for __ in range(pages):
+            address = self._next_read_page(placement)
+            yield sim.process(controller.read_page(way, die_index, address))
+            yield sim.process(controller.ppdma.execute(
+                self.buffers.write(buffer_index, page_bytes),
+                nbytes=page_bytes))
+        if self.mode is not DataPathMode.DDR_FLASH:
+            yield from self.hostif.transfer(command.nbytes)
+        self._complete(command)
+
+    # -- trim -----------------------------------------------------------
+    def _trim_flow(self, command: IoCommand):
+        placement = self.next_target()
+        channel_index, way, die_index = placement
+        yield from self.cpu.process_command(
+            command.opcode.value, command.lba, command.sectors,
+            {"channel": channel_index, "way": way, "die": die_index})
+        self._complete(command, count_bytes=False)
+
+    # -- GC (WAF abstraction) --------------------------------------------
+    def _gc_quota(self, pattern: str, pages: int) -> Tuple[int, int]:
+        """Integer (relocations, erases) due for ``pages`` host pages,
+        carrying fractional remainders between calls."""
+        ops = self.arch.waf.extra_page_operations(
+            pattern, pages, carry=self._gc_carry.get(pattern, 0.0))
+        relocations = int(ops["relocations"])
+        self._gc_carry[pattern] = ops["relocations"] - relocations
+        erases_due = ops["erases"] + self._erase_carry.get(pattern, 0.0)
+        erases = int(erases_due)
+        self._erase_carry[pattern] = erases_due - erases
+        return relocations, erases
+
+    def _behind_address(self, target: Tuple[int, int, int],
+                        page_offset: int = 0) -> PageAddress:
+        """An address in the block *behind* the allocation cursor — fully
+        written (or untouched) and therefore safe for GC reads and erases
+        without perturbing the sequential write pointer."""
+        geometry = self.arch.geometry
+        cursor = self._die_cursor.get(target, 0)
+        block_linear = cursor // geometry.pages_per_block
+        previous = (block_linear - 1) % geometry.blocks_per_die
+        base = previous * geometry.pages_per_block
+        return geometry.address_of(
+            base + page_offset % geometry.pages_per_block)
+
+    def _gc_work(self, channel_index: int, relocations: int, erases: int):
+        sim = self.sim
+        controller = self.channels[channel_index]
+        arch = self.arch
+        for __ in range(relocations):
+            way = self._gc_die % arch.n_ways
+            die_index = (self._gc_die // arch.n_ways) % arch.dies_per_way
+            self._gc_die += 1
+            target = (channel_index, way, die_index)
+            # Relocation: read a page from a retired block, rewrite it at
+            # the allocation cursor.
+            source = self._behind_address(target, page_offset=self._gc_die)
+            yield sim.process(controller.read_page(way, die_index, source))
+            order = self._write_lock(target)
+            grant = order.acquire()
+            yield grant
+            try:
+                destination = self._next_page(target)
+                yield sim.process(controller.program_page(way, die_index,
+                                                          destination))
+            finally:
+                order.release(grant)
+            controller.stats.counter("gc_relocations").increment()
+        for __ in range(erases):
+            way = self._gc_die % arch.n_ways
+            die_index = (self._gc_die // arch.n_ways) % arch.dies_per_way
+            self._gc_die += 1
+            die = controller.die(way, die_index)
+            victim = self._behind_address((channel_index, way, die_index))
+            yield sim.process(controller.erase_block(way, die_index,
+                                                     victim.plane,
+                                                     victim.block))
+            die.preload_block(victim.plane, victim.block, 0)
+
+    # ------------------------------------------------------------------
+    def _complete(self, command: IoCommand, count_bytes: bool = True) -> None:
+        trace(self.sim.now, self.path(), "complete", str(command))
+        command.complete_time_ps = self.sim.now
+        self.commands_completed += 1
+        if count_bytes:
+            self.bytes_completed += command.nbytes
+        self.last_completion_ps = self.sim.now
+        self.stats.counter("completions").increment()
+
+    def throughput_mbps(self) -> float:
+        """Payload throughput from t=0 to the last completion."""
+        if self.last_completion_ps == 0:
+            return 0.0
+        return self.bytes_completed / 1e6 / (self.last_completion_ps / 1e12)

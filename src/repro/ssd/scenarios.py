@@ -1,0 +1,103 @@
+"""Measurement scenarios: the five bars of the paper's Fig. 3/4.
+
+For each architecture and workload the exploration flow measures:
+
+* ``host_ideal``   — the interface streaming stand-alone ("SATA ideal"),
+* ``host_ddr``     — interface + DMA into the DRAM buffers ("SATA+DDR"),
+* ``ddr_flash``    — DRAM-to-flash drain bandwidth ("DDR+FLASH"),
+* ``full`` (cache) — the complete SSD with write-back caching,
+* ``full`` (no cache) — completion deferred to NAND program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..host.workload import Workload
+from ..kernel import Simulator
+from .architecture import CachePolicy, SsdArchitecture
+from .device import DataPathMode, SsdDevice
+from .metrics import RunResult, run_workload
+
+
+def host_ideal_mbps(arch: SsdArchitecture, block_bytes: int = 4096) -> float:
+    """The interface's stand-alone streaming throughput (analytic)."""
+    return arch.host.ideal_throughput_mbps(block_bytes)
+
+
+def measure(arch: SsdArchitecture, workload: Workload,
+            mode: DataPathMode = DataPathMode.FULL,
+            max_commands: Optional[int] = None,
+            label: str = "",
+            preload_reads: bool = True,
+            warm_start: bool = False) -> RunResult:
+    """Build a fresh device and run one scenario."""
+    sim = Simulator()
+    device = SsdDevice(sim, arch, mode=mode)
+    if preload_reads and workload.opcode.name == "READ":
+        device.preload_for_reads()
+    if warm_start:
+        device.warm_start_cache(workload.pattern_name)
+    result = run_workload(sim, device, workload, max_commands=max_commands,
+                          label=label)
+    if warm_start:
+        # A warm-started run is in the steady regime from t=0, so the
+        # full-span figure *is* the sustained one — and unlike the
+        # windowed estimate it is immune to erase-burst completion
+        # clumping.
+        result.sustained_mbps = result.throughput_mbps
+    return result
+
+
+@dataclass
+class BreakdownRow:
+    """One configuration's Fig. 3/4 bar group."""
+
+    label: str
+    ddr_flash_mbps: float
+    ssd_cache_mbps: float
+    ssd_no_cache_mbps: float
+    host_ideal_mbps: float
+    host_ddr_mbps: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "DDR+FLASH": self.ddr_flash_mbps,
+            "SSD cache": self.ssd_cache_mbps,
+            "SSD no cache": self.ssd_no_cache_mbps,
+            "HOST ideal": self.host_ideal_mbps,
+            "HOST+DDR": self.host_ddr_mbps,
+        }
+
+
+def breakdown(arch: SsdArchitecture, workload: Workload,
+              max_commands: Optional[int] = None) -> BreakdownRow:
+    """Measure all five bars for one architecture (Fig. 3/4 row).
+
+    The caching-policy run is *warm-started*: the DRAM write cache begins
+    full with its flush backlog already queued, so the short trace
+    measures the sustained regime instead of the cache-fill transient.
+    """
+    ddr_flash = measure(arch, workload, mode=DataPathMode.DDR_FLASH,
+                        max_commands=max_commands,
+                        label=f"{arch.label}/ddr+flash")
+    cache = measure(arch.with_cache_policy(CachePolicy.CACHING), workload,
+                    max_commands=max_commands,
+                    label=f"{arch.label}/cache", warm_start=True)
+    no_cache = measure(arch.with_cache_policy(CachePolicy.NO_CACHING),
+                       workload, max_commands=max_commands,
+                       label=f"{arch.label}/no-cache")
+    host_ddr = measure(arch, workload, mode=DataPathMode.HOST_DDR,
+                       max_commands=max_commands,
+                       label=f"{arch.label}/host+ddr")
+    return BreakdownRow(
+        label=arch.label,
+        # DDR+FLASH is a makespan measure (drain a batch into flash);
+        # cache/no-cache bars are steady-state sustained figures.
+        ddr_flash_mbps=ddr_flash.throughput_mbps,
+        ssd_cache_mbps=cache.sustained_mbps,
+        ssd_no_cache_mbps=no_cache.sustained_mbps,
+        host_ideal_mbps=host_ideal_mbps(arch, workload.block_bytes),
+        host_ddr_mbps=host_ddr.sustained_mbps,
+    )

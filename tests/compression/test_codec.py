@@ -1,0 +1,226 @@
+"""Tests for the bit I/O, LZ77, Huffman and deflate layers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import (BitReader, BitWriter, HuffmanDecoder,
+                               HuffmanEncoder, Literal, Match,
+                               canonical_codes,
+                               code_lengths_from_frequencies, compress,
+                               decompress, detokenize,
+                               distance_to_symbol, length_to_symbol,
+                               synthetic_page, tokenize)
+
+
+class TestBitIO:
+    def test_roundtrip_mixed_widths(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        writer.write_bits(0xFF, 8)
+        writer.write_bits(0, 5)
+        writer.write_bits(0b11, 2)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(3) == 0b101
+        assert reader.read_bits(8) == 0xFF
+        assert reader.read_bits(5) == 0
+        assert reader.read_bits(2) == 0b11
+
+    def test_bit_length(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        writer.write_bits(0, 10)
+        assert writer.bit_length() == 11
+
+    def test_overflow_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(8, 3)
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"\x01")
+        reader.read_bits(8)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\xAA\xBB")
+        reader.read_bits(5)
+        assert reader.bits_remaining == 11
+
+    @given(st.lists(st.tuples(st.integers(0, 2**16 - 1),
+                              st.integers(1, 16)), max_size=50))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, chunks):
+        writer = BitWriter()
+        for value, width in chunks:
+            writer.write_bits(value & ((1 << width) - 1), width)
+        reader = BitReader(writer.getvalue())
+        for value, width in chunks:
+            assert reader.read_bits(width) == value & ((1 << width) - 1)
+
+
+class TestLz77:
+    def test_incompressible_all_literals(self):
+        tokens = tokenize(bytes(range(16)))
+        assert all(isinstance(token, Literal) for token in tokens)
+
+    def test_repeat_produces_match(self):
+        tokens = tokenize(b"abcabcabc")
+        assert any(isinstance(token, Match) for token in tokens)
+
+    def test_detokenize_inverts(self):
+        data = b"the quick brown fox " * 20
+        assert detokenize(tokenize(data)) == data
+
+    def test_overlapping_match(self):
+        # 'aaaa...' forces distance-1 overlapping copies.
+        data = b"a" * 100
+        tokens = tokenize(data)
+        assert detokenize(tokens) == data
+        matches = [t for t in tokens if isinstance(t, Match)]
+        assert matches and matches[0].distance == 1
+
+    def test_empty_input(self):
+        assert tokenize(b"") == []
+        assert detokenize([]) == b""
+
+    def test_bad_distance_rejected(self):
+        with pytest.raises(ValueError):
+            detokenize([Match(3, 5)])
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            detokenize([Literal(97), Match(2, 1)])
+
+    def test_max_chain_validation(self):
+        with pytest.raises(ValueError):
+            tokenize(b"abc", max_chain=0)
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert detokenize(tokenize(data)) == data
+
+
+class TestHuffman:
+    def test_lengths_zero_for_unused(self):
+        lengths = code_lengths_from_frequencies([5, 0, 3, 0])
+        assert lengths[1] == 0 and lengths[3] == 0
+        assert lengths[0] > 0 and lengths[2] > 0
+
+    def test_single_symbol_gets_one_bit(self):
+        lengths = code_lengths_from_frequencies([0, 7, 0])
+        assert lengths == [0, 1, 0]
+
+    def test_frequent_symbols_shorter(self):
+        lengths = code_lengths_from_frequencies([1000, 1, 1, 1, 1])
+        assert lengths[0] <= min(lengths[1:])
+
+    def test_kraft_inequality(self):
+        frequencies = [i + 1 for i in range(40)]
+        lengths = code_lengths_from_frequencies(frequencies)
+        kraft = sum(2 ** -length for length in lengths if length)
+        assert kraft <= 1.0 + 1e-12
+
+    def test_canonical_codes_prefix_free(self):
+        lengths = code_lengths_from_frequencies([5, 9, 12, 13, 16, 45])
+        codes = canonical_codes(lengths)
+        entries = [(format(code, f"0{length}b"))
+                   for code, length in zip(codes, lengths) if length]
+        for i, a in enumerate(entries):
+            for j, b in enumerate(entries):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_encoder_decoder_roundtrip(self):
+        frequencies = [0] * 10
+        symbols = [3, 7, 7, 1, 3, 3, 9]
+        for symbol in symbols:
+            frequencies[symbol] += 1
+        encoder = HuffmanEncoder(frequencies)
+        writer = BitWriter()
+        for symbol in symbols:
+            encoder.encode_symbol(writer, symbol)
+        decoder = HuffmanDecoder(encoder.lengths)
+        reader = BitReader(writer.getvalue())
+        assert [decoder.decode_symbol(reader) for __ in symbols] == symbols
+
+    def test_encoding_zero_frequency_symbol_raises(self):
+        encoder = HuffmanEncoder([1, 0])
+        with pytest.raises(ValueError):
+            encoder.encode_symbol(BitWriter(), 1)
+
+    @given(st.lists(st.integers(0, 500), min_size=2, max_size=64))
+    @settings(max_examples=100)
+    def test_kraft_property(self, frequencies):
+        lengths = code_lengths_from_frequencies(frequencies)
+        kraft = sum(2 ** -length for length in lengths if length)
+        assert kraft <= 1.0 + 1e-12
+        assert max(lengths, default=0) <= 15
+
+
+class TestDeflateTables:
+    def test_length_symbol_bases(self):
+        assert length_to_symbol(3) == (257, 0, 0)
+        assert length_to_symbol(258) == (285, 0, 0)
+        assert length_to_symbol(13) == (266, 1, 0)
+        assert length_to_symbol(14) == (266, 1, 1)
+
+    def test_distance_symbol_bases(self):
+        assert distance_to_symbol(1) == (0, 0, 0)
+        assert distance_to_symbol(32768) == (29, 13, 8191)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            length_to_symbol(2)
+        with pytest.raises(ValueError):
+            length_to_symbol(259)
+        with pytest.raises(ValueError):
+            distance_to_symbol(0)
+
+    def test_every_length_roundtrips(self):
+        from repro.compression.deflate import LENGTH_TABLE
+        for length in range(3, 259):
+            symbol, extra_bits, extra = length_to_symbol(length)
+            base, table_extra = LENGTH_TABLE[symbol - 257]
+            assert table_extra == extra_bits
+            assert base + extra == length
+
+
+class TestDeflateRoundtrip:
+    @pytest.mark.parametrize("kind", ["zeros", "text", "binary", "random"])
+    def test_synthetic_pages(self, kind):
+        data = synthetic_page(kind, 4096, seed=11)
+        assert decompress(compress(data)) == data
+
+    def test_empty(self):
+        assert decompress(compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert decompress(compress(b"z")) == b"z"
+
+    def test_compressible_data_shrinks(self):
+        data = synthetic_page("text", 8192, seed=5)
+        assert len(compress(data)) < len(data) // 2
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(ValueError):
+            decompress(b"abc")
+
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert decompress(compress(data)) == data
+
+
+class TestSyntheticPage:
+    def test_sizes(self):
+        for kind in ("zeros", "text", "binary", "random"):
+            assert len(synthetic_page(kind, 1000)) == 1000
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            synthetic_page("mystery")
+
+    def test_seeds_differ(self):
+        assert (synthetic_page("random", 64, seed=1)
+                != synthetic_page("random", 64, seed=2))

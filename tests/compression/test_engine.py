@@ -1,0 +1,61 @@
+"""Tests for the PTD compressor engine model."""
+
+import pytest
+
+from repro.compression import CompressorModel, CompressorPlacement, synthetic_page
+from repro.kernel.simtime import us
+
+
+class TestCompressorModel:
+    def test_disabled_is_identity(self):
+        model = CompressorModel()
+        assert not model.enabled
+        assert model.output_bytes(4096) == 4096
+        assert model.latency_ps(4096) == 0
+
+    def test_ratio_shrinks_output(self):
+        model = CompressorModel(CompressorPlacement.HOST_INTERFACE, ratio=2.0)
+        assert model.output_bytes(4096) == 2048
+
+    def test_output_never_zero(self):
+        model = CompressorModel(CompressorPlacement.HOST_INTERFACE, ratio=100.0)
+        assert model.output_bytes(10) == 1
+
+    def test_empty_input(self):
+        model = CompressorModel(CompressorPlacement.HOST_INTERFACE, ratio=2.0)
+        assert model.output_bytes(0) == 0
+        assert model.latency_ps(0) == 0
+
+    def test_latency_includes_fixed_and_streaming(self):
+        model = CompressorModel(CompressorPlacement.CHANNEL_WAY, ratio=2.0,
+                                bandwidth_mbps=400.0, fixed_latency_ps=us(2))
+        # 4096 bytes at 400 MB/s = 10.24 us streaming + 2 us fixed.
+        assert model.latency_ps(4096) == us(2) + 10_240_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompressorModel(ratio=0.5)
+        with pytest.raises(ValueError):
+            CompressorModel(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            CompressorModel(fixed_latency_ps=-1)
+        with pytest.raises(ValueError):
+            CompressorModel().output_bytes(-1)
+        with pytest.raises(ValueError):
+            CompressorModel().latency_ps(-1)
+
+    def test_with_measured_ratio_text(self):
+        base = CompressorModel(CompressorPlacement.HOST_INTERFACE)
+        annotated = base.with_measured_ratio(synthetic_page("text", 8192))
+        assert annotated.ratio > 2.0
+        assert annotated.placement is CompressorPlacement.HOST_INTERFACE
+
+    def test_with_measured_ratio_random_clamps_at_one(self):
+        base = CompressorModel(CompressorPlacement.HOST_INTERFACE)
+        annotated = base.with_measured_ratio(synthetic_page("random", 8192))
+        assert annotated.ratio == pytest.approx(1.0)
+
+    def test_placement_enum_values(self):
+        assert CompressorPlacement.NONE.value == "none"
+        assert CompressorPlacement.HOST_INTERFACE.value == "host"
+        assert CompressorPlacement.CHANNEL_WAY.value == "channel"

@@ -1,0 +1,118 @@
+"""Tests for the design-space exploration engine."""
+
+import pytest
+
+from repro.core import DesignSpaceExplorer, ResourceCostModel, table2_configs
+from repro.core.explorer import DesignPoint, ExplorationResult
+from repro.host import HostInterfaceSpec, sequential_write
+from repro.nand import NandGeometry
+from repro.ssd import SsdArchitecture
+from repro.ssd.scenarios import BreakdownRow
+
+SMALL_GEO = NandGeometry(planes_per_die=1, blocks_per_plane=64,
+                         pages_per_block=32)
+
+
+class TestResourceCostModel:
+    def test_paper_ranking_c6_beats_c8_and_c10(self):
+        """The Fig. 3 conclusion: C6 is the cheapest saturating config."""
+        model = ResourceCostModel()
+        configs = table2_configs()
+        c6 = model.cost(configs["C6"])
+        c8 = model.cost(configs["C8"])
+        c10 = model.cost(configs["C10"])
+        assert c6 < c8 < c10
+
+    def test_cost_monotone_in_each_resource(self):
+        model = ResourceCostModel()
+        base = SsdArchitecture(n_ddr_buffers=4, n_channels=4, n_ways=2,
+                               dies_per_way=2)
+        assert model.cost(base.scaled(n_channels=8, n_ddr_buffers=4)) \
+            > model.cost(base)
+        assert model.cost(base.scaled(dies_per_way=4)) > model.cost(base)
+        assert model.cost(base.scaled(n_ways=4)) > model.cost(base)
+
+    def test_custom_weights(self):
+        cheap_dies = ResourceCostModel(die_weight=0.1)
+        pricey_dies = ResourceCostModel(die_weight=10.0)
+        arch = SsdArchitecture()
+        assert cheap_dies.cost(arch) < pricey_dies.cost(arch)
+
+
+def _fake_point(name, cost, measured, target=100.0):
+    row = BreakdownRow(label=name, ddr_flash_mbps=measured,
+                       ssd_cache_mbps=measured, ssd_no_cache_mbps=measured,
+                       host_ideal_mbps=target, host_ddr_mbps=target)
+    return DesignPoint(name=name, arch=SsdArchitecture(), row=row,
+                       cost=cost, meets_target=measured >= 0.97 * target,
+                       measured_mbps=measured)
+
+
+class TestExplorationResult:
+    def test_optimal_is_cheapest_feasible(self):
+        result = ExplorationResult(target_mbps=100, points=[
+            _fake_point("a", cost=10, measured=50),
+            _fake_point("b", cost=30, measured=100),
+            _fake_point("c", cost=20, measured=100),
+        ])
+        assert result.optimal.name == "c"
+
+    def test_no_feasible_returns_none(self):
+        result = ExplorationResult(target_mbps=100, points=[
+            _fake_point("a", cost=10, measured=50),
+        ])
+        assert result.optimal is None
+
+    def test_best_effort(self):
+        result = ExplorationResult(target_mbps=100, points=[
+            _fake_point("a", cost=10, measured=50),
+            _fake_point("b", cost=30, measured=70),
+        ])
+        assert result.best_effort().name == "b"
+
+    def test_cheapest_within_flattened_field(self):
+        """The paper's no-cache conclusion: all points flatten, pick the
+        cheapest (C1)."""
+        result = ExplorationResult(target_mbps=100, points=[
+            _fake_point("C1", cost=10, measured=60),
+            _fake_point("C5", cost=50, measured=61),
+            _fake_point("C10", cost=99, measured=62),
+        ])
+        assert result.cheapest_within(fraction=0.9).name == "C1"
+
+    def test_empty_points_raise(self):
+        result = ExplorationResult(target_mbps=100, points=[])
+        with pytest.raises(ValueError):
+            result.best_effort()
+        with pytest.raises(ValueError):
+            result.cheapest_within()
+
+
+class TestExplorerEndToEnd:
+    def test_finds_cheapest_saturating_config(self):
+        """Scaled-down Fig. 3 story: with a slow host link, the 2-channel
+        candidate saturates at lower cost than the 4-channel one, and the
+        1-channel candidate falls short.  Per-channel drain here is
+        die-limited at ~8 MB/s (2 ways x 2 dies), so a ~15 MB/s host sits
+        between the 1-channel and 2-channel drain rates."""
+        slow_host = HostInterfaceSpec("slow", 15e6, 1_200_000,
+                                      queue_depth=32)
+        base = dict(n_ways=2, dies_per_way=2, geometry=SMALL_GEO,
+                    dram_refresh=False, host=slow_host)
+        candidates = {
+            "one": SsdArchitecture(n_channels=1, n_ddr_buffers=1, **base),
+            "two": SsdArchitecture(n_channels=2, n_ddr_buffers=2, **base),
+            "four": SsdArchitecture(n_channels=4, n_ddr_buffers=4, **base),
+        }
+        explorer = DesignSpaceExplorer(max_commands=260)
+        result = explorer.explore(candidates,
+                                  sequential_write(4096 * 260))
+        assert result.optimal is not None
+        assert result.optimal.name == "two"
+        names_feasible = {p.name for p in result.feasible}
+        assert "four" in names_feasible
+        assert "one" not in names_feasible
+
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer(metric="latency")

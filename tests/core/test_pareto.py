@@ -1,0 +1,88 @@
+"""Tests for the Pareto frontier and design-space generation."""
+
+import pytest
+
+from repro.core import generate_design_space
+from repro.core.explorer import DesignPoint, ExplorationResult
+from repro.ssd import SsdArchitecture
+from repro.ssd.scenarios import BreakdownRow
+
+
+def _point(name, cost, measured):
+    row = BreakdownRow(label=name, ddr_flash_mbps=measured,
+                       ssd_cache_mbps=measured, ssd_no_cache_mbps=measured,
+                       host_ideal_mbps=999, host_ddr_mbps=999)
+    return DesignPoint(name=name, arch=SsdArchitecture(), row=row,
+                       cost=cost, meets_target=False,
+                       measured_mbps=measured)
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        result = ExplorationResult(target_mbps=0, points=[
+            _point("cheap-slow", 10, 50),
+            _point("dominated", 20, 40),     # pricier AND slower
+            _point("mid", 20, 80),
+            _point("fast", 40, 120),
+        ])
+        frontier = [p.name for p in result.pareto_frontier()]
+        assert frontier == ["cheap-slow", "mid", "fast"]
+
+    def test_equal_cost_keeps_faster(self):
+        result = ExplorationResult(target_mbps=0, points=[
+            _point("a", 10, 50),
+            _point("b", 10, 70),
+        ])
+        frontier = [p.name for p in result.pareto_frontier()]
+        assert frontier == ["b"]
+
+    def test_single_point(self):
+        result = ExplorationResult(target_mbps=0, points=[_point("x", 1, 1)])
+        assert [p.name for p in result.pareto_frontier()] == ["x"]
+
+    def test_empty(self):
+        assert ExplorationResult(target_mbps=0, points=[]).pareto_frontier() \
+            == []
+
+    def test_frontier_sorted_by_cost(self):
+        result = ExplorationResult(target_mbps=0, points=[
+            _point("c", 30, 90), _point("a", 10, 40), _point("b", 20, 70),
+        ])
+        frontier = result.pareto_frontier()
+        costs = [p.cost for p in frontier]
+        assert costs == sorted(costs)
+        speeds = [p.measured_mbps for p in frontier]
+        assert speeds == sorted(speeds)
+
+
+class TestGenerateDesignSpace:
+    def test_cartesian_size(self):
+        space = generate_design_space(channels=(2, 4), ways=(1, 2),
+                                      dies=(1, 2))
+        assert len(space) == 8
+
+    def test_buffers_track_channels(self):
+        space = generate_design_space(channels=(4,), ways=(2,), dies=(1,))
+        arch = next(iter(space.values()))
+        assert arch.n_ddr_buffers == arch.n_channels == 4
+
+    def test_die_cap_prunes(self):
+        space = generate_design_space(channels=(16,), ways=(8,),
+                                      dies=(4, 32), max_total_dies=1024)
+        assert len(space) == 1  # 16*8*32 = 4096 pruned
+
+    def test_labels_unique_and_parseable(self):
+        from repro.ssd import parse_geometry_label
+        space = generate_design_space(channels=(2, 4), ways=(1, 2),
+                                      dies=(1,))
+        for label in space:
+            parsed = parse_geometry_label(label)
+            assert parsed["n_channels"] in (2, 4)
+
+    def test_base_propagates(self):
+        from repro.ssd import CachePolicy
+        base = SsdArchitecture(cache_policy=CachePolicy.NO_CACHING)
+        space = generate_design_space(channels=(2,), ways=(1,), dies=(1,),
+                                      base=base)
+        assert all(a.cache_policy is CachePolicy.NO_CACHING
+                   for a in space.values())

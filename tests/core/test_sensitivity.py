@@ -1,0 +1,100 @@
+"""Tests for the parameter-sensitivity analysis tools."""
+
+import pytest
+
+from repro.core import (SensitivityCurve, SensitivityPoint,
+                        bottleneck_report, render_sensitivity_table,
+                        sweep_parameter)
+from repro.host import HostInterfaceSpec, sequential_write
+from repro.nand import NandGeometry, OnfiTiming
+from repro.ssd import CachePolicy, SsdArchitecture
+
+GEO = NandGeometry(planes_per_die=1, blocks_per_plane=64, pages_per_block=32)
+
+
+def arch_with_queue_depth(depth):
+    host = HostInterfaceSpec(f"qd{depth}", 294e6, 1_200_000,
+                             queue_depth=depth)
+    return SsdArchitecture(n_channels=2, n_ways=2, dies_per_way=2,
+                           n_ddr_buffers=2, geometry=GEO, host=host,
+                           dram_refresh=False,
+                           cache_policy=CachePolicy.NO_CACHING)
+
+
+@pytest.fixture(scope="module")
+def queue_depth_curve():
+    return sweep_parameter("queue_depth", [1, 4, 16],
+                           arch_with_queue_depth,
+                           sequential_write(4096 * 120))
+
+
+class TestSweep:
+    def test_points_in_order(self, queue_depth_curve):
+        assert [p.value for p in queue_depth_curve.points] == [1, 4, 16]
+
+    def test_throughput_grows_with_queue_depth(self, queue_depth_curve):
+        series = queue_depth_curve.series()
+        assert series[0][1] < series[1][1] < series[2][1]
+
+    def test_labels_carry_parameter(self, queue_depth_curve):
+        assert queue_depth_curve.points[0].result.label == "queue_depth=1"
+
+    def test_render(self, queue_depth_curve):
+        text = render_sensitivity_table(queue_depth_curve)
+        assert "queue_depth" in text
+        assert "MB/s" in text
+
+
+class TestElasticity:
+    def _curve(self, pairs):
+        from repro.ssd.metrics import RunResult
+        points = []
+        for value, mbps in pairs:
+            result = RunResult(label="x", throughput_mbps=mbps,
+                               sustained_mbps=mbps, iops=0, commands=1,
+                               bytes_moved=0, sim_time_ps=1,
+                               mean_latency_us=0, max_latency_us=0,
+                               p50_latency_us=0, p95_latency_us=0,
+                               p99_latency_us=0, wall_seconds=0, events=0,
+                               utilizations={})
+            points.append(SensitivityPoint(value=value, result=result))
+        return SensitivityCurve(parameter="p", points=points)
+
+    def test_linear_scaling_elasticity_one(self):
+        curve = self._curve([(1, 10.0), (2, 20.0), (4, 40.0)])
+        assert curve.elasticity() == pytest.approx(1.0)
+
+    def test_insensitive_elasticity_zero(self):
+        curve = self._curve([(1, 10.0), (4, 10.0)])
+        assert curve.elasticity() == pytest.approx(0.0)
+
+    def test_needs_two_points(self):
+        curve = self._curve([(1, 10.0)])
+        with pytest.raises(ValueError):
+            curve.elasticity()
+
+    def test_needs_numeric_values(self):
+        curve = self._curve([("a", 10.0), ("b", 20.0)])
+        with pytest.raises(ValueError):
+            curve.elasticity()
+
+    def test_constant_parameter_rejected(self):
+        curve = self._curve([(2, 10.0), (2, 20.0)])
+        with pytest.raises(ValueError):
+            curve.elasticity()
+
+    def test_saturation_value(self):
+        curve = self._curve([(1, 10.0), (2, 30.0), (4, 31.0), (8, 31.2)])
+        assert curve.saturation_value(tolerance=0.05) == 2
+
+
+class TestBottleneckReport:
+    def test_sorted_busiest_first(self, queue_depth_curve):
+        report = bottleneck_report(queue_depth_curve.points[-1].result)
+        utilizations = [value for __, value in report]
+        assert utilizations == sorted(utilizations, reverse=True)
+
+    def test_dies_bind_at_depth_16(self, queue_depth_curve):
+        """With 8 dies behind a fast link, the array is the bottleneck."""
+        report = bottleneck_report(queue_depth_curve.points[-1].result)
+        assert report[0][0] == "dies"

@@ -1,0 +1,125 @@
+"""Tests for the FW-RISC assembler."""
+
+import pytest
+
+from repro.cpu import AssemblyError, Opcode, assemble
+
+
+class TestBasicParsing:
+    def test_empty_source(self):
+        assert assemble("") == []
+
+    def test_comments_ignored(self):
+        program = assemble("; full line\n  nop  ; trailing\n# hash too\n")
+        assert len(program) == 1
+        assert program[0].opcode is Opcode.NOP
+
+    def test_mov_immediate(self):
+        program = assemble("mov r3, 42")
+        inst = program[0]
+        assert inst.opcode is Opcode.MOV
+        assert inst.rd == 3
+        assert not inst.operands[0].is_register
+        assert inst.operands[0].value == 42
+
+    def test_mov_register(self):
+        inst = assemble("mov r1, r2")[0]
+        assert inst.operands[0].is_register
+        assert inst.operands[0].value == 2
+
+    def test_hex_and_binary_immediates(self):
+        program = assemble("mov r1, 0x10\nmov r2, 0b101\n")
+        assert program[0].operands[0].value == 16
+        assert program[1].operands[0].value == 5
+
+    def test_register_aliases(self):
+        program = assemble("mov lr, 1\nmov sp, 2\n")
+        assert program[0].rd == 14
+        assert program[1].rd == 15
+
+    def test_alu_three_operand(self):
+        inst = assemble("add r1, r2, 7")[0]
+        assert inst.rd == 1
+        assert inst.operands[0].value == 2
+        assert inst.operands[1].value == 7
+
+    def test_negative_immediate_wraps(self):
+        inst = assemble("mov r1, -1")[0]
+        assert inst.operands[0].value == 0xFFFFFFFF
+
+
+class TestMemoryOperands:
+    def test_ldr_with_offset(self):
+        inst = assemble("ldr r1, [r2 + 8]")[0]
+        assert inst.opcode is Opcode.LDR
+        assert inst.rd == 1
+        assert inst.operands[0].value == 2
+        assert inst.operands[1].value == 8
+
+    def test_ldr_without_offset(self):
+        inst = assemble("ldr r1, [r2]")[0]
+        assert inst.operands[1].value == 0
+
+    def test_str_fields(self):
+        inst = assemble("str r5, [r6 + 4]")[0]
+        assert inst.opcode is Opcode.STR
+        assert inst.rd == 6                # base
+        assert inst.operands[0].value == 5  # source
+
+    def test_hex_offset(self):
+        inst = assemble("ldr r1, [r2 + 0x10]")[0]
+        assert inst.operands[1].value == 16
+
+    def test_malformed_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("ldr r1, r2 + 8")
+
+
+class TestLabels:
+    def test_forward_reference(self):
+        program = assemble("b end\nnop\nend:\nhalt\n")
+        assert program[0].target == 2
+
+    def test_backward_reference(self):
+        program = assemble("top:\nnop\nb top\n")
+        assert program[1].target == 0
+
+    def test_conditional_branch(self):
+        program = assemble("loop:\nbne r1, r2, loop\n")
+        inst = program[0]
+        assert inst.opcode is Opcode.BNE
+        assert inst.target == 0
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("b nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("x:\nnop\nx:\nnop\n")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="invalid register"):
+            assemble("mov r16, 1\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2\n")
+        with pytest.raises(AssemblyError):
+            assemble("halt r1\n")
+        with pytest.raises(AssemblyError):
+            assemble("b one, two\n")
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblyError, match="invalid operand"):
+            assemble("mov r1, @@@\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbogus\n")

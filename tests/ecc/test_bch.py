@@ -1,0 +1,172 @@
+"""Tests for the BCH codec: round trips, correction limits, detection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import BchCode, BchDecodeFailure, inject_errors
+
+
+@pytest.fixture(scope="module")
+def code_t4():
+    return BchCode(m=8, t=4)
+
+
+@pytest.fixture(scope="module")
+def code_t2():
+    return BchCode(m=8, t=2)
+
+
+class TestConstruction:
+    def test_parameters(self, code_t4):
+        params = code_t4.parameters
+        assert params.n == 255
+        assert params.parity_bits <= 4 * 8  # <= m*t
+        assert params.k == params.n - params.parity_bits
+
+    def test_t_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BchCode(m=8, t=0)
+
+    def test_extreme_t_degenerates_to_repetition(self):
+        # Designed distance covering every coset leaves k=1 (repetition).
+        assert BchCode(m=4, t=7).parameters.k == 1
+
+    def test_generator_divides_x_n_minus_1(self, code_t4):
+        from repro.ecc.galois import poly2_mod
+        x_n_1 = (1 << code_t4.n) | 1
+        assert poly2_mod(x_n_1, code_t4.generator) == 0
+
+
+class TestEncode:
+    def test_systematic_prefix(self, code_t4):
+        data = bytes(range(20))
+        codeword = code_t4.encode(data)
+        assert codeword[:20] == data
+
+    def test_parity_length(self, code_t4):
+        data = bytes(10)
+        codeword = code_t4.encode(data)
+        assert len(codeword) == 10 + (code_t4.parity_bits + 7) // 8
+
+    def test_payload_too_large_rejected(self, code_t4):
+        oversize = (code_t4.k // 8) + 1
+        with pytest.raises(ValueError):
+            code_t4.encode(bytes(oversize))
+
+    def test_codeword_bits(self, code_t4):
+        assert code_t4.codeword_bits(16) == 128 + code_t4.parity_bits
+
+    def test_all_zero_payload_gives_zero_parity(self, code_t4):
+        codeword = code_t4.encode(bytes(8))
+        assert codeword == bytes(len(codeword))
+
+
+class TestDecode:
+    def test_clean_roundtrip(self, code_t4):
+        data = bytes([i * 7 % 256 for i in range(24)])
+        decoded, corrected = code_t4.decode(code_t4.encode(data), len(data))
+        assert decoded == data
+        assert corrected == 0
+
+    @pytest.mark.parametrize("n_errors", [1, 2, 3, 4])
+    def test_corrects_up_to_t(self, code_t4, n_errors):
+        rng = random.Random(n_errors)
+        data = bytes(rng.randrange(256) for __ in range(24))
+        codeword = code_t4.encode(data)
+        positions = rng.sample(range(len(codeword) * 8), n_errors)
+        decoded, corrected = code_t4.decode(
+            inject_errors(codeword, positions), len(data))
+        assert decoded == data
+        assert corrected == n_errors
+
+    def test_errors_in_parity_corrected(self, code_t4):
+        data = bytes(range(16))
+        codeword = code_t4.encode(data)
+        parity_bit = 16 * 8 + 3  # inside parity region
+        decoded, corrected = code_t4.decode(
+            inject_errors(codeword, [parity_bit]), len(data))
+        assert decoded == data
+        assert corrected == 1
+
+    def test_beyond_t_detected_or_miscorrected_safely(self, code_t4):
+        """2t errors: the decoder must raise or return cleanly (never loop
+        or crash); silent miscorrection is a known property of BCH beyond
+        its design distance, but detection should dominate."""
+        rng = random.Random(99)
+        detections = 0
+        for trial in range(20):
+            data = bytes(rng.randrange(256) for __ in range(24))
+            codeword = code_t4.encode(data)
+            positions = rng.sample(range(len(codeword) * 8), 8)
+            try:
+                code_t4.decode(inject_errors(codeword, positions), len(data))
+            except BchDecodeFailure:
+                detections += 1
+        assert detections >= 15
+
+    def test_wrong_length_rejected(self, code_t4):
+        data = bytes(8)
+        codeword = code_t4.encode(data)
+        with pytest.raises(ValueError):
+            code_t4.decode(codeword + b"x", len(data))
+
+    def test_shortened_code_small_payload(self, code_t4):
+        data = b"ab"
+        codeword = code_t4.encode(data)
+        bad = inject_errors(codeword, [0, 9, 17])
+        decoded, corrected = code_t4.decode(bad, len(data))
+        assert decoded == data
+        assert corrected == 3
+
+    @given(data=st.binary(min_size=1, max_size=24),
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data, seed):
+        code = BchCode(m=8, t=4)
+        rng = random.Random(seed)
+        codeword = code.encode(data)
+        n_errors = rng.randrange(5)
+        positions = rng.sample(range(len(codeword) * 8), n_errors)
+        decoded, corrected = code.decode(inject_errors(codeword, positions),
+                                         len(data))
+        assert decoded == data
+        assert corrected == n_errors
+
+
+class TestProductionSizeCode:
+    """The configuration NAND controllers actually use: 1 KiB sectors,
+    t up to 40 over GF(2^14)."""
+
+    @pytest.fixture(scope="class")
+    def big_code(self):
+        return BchCode(m=14, t=40)
+
+    def test_parameters(self, big_code):
+        assert big_code.n == 16383
+        assert big_code.parity_bits <= 14 * 40
+        assert big_code.k >= 1024 * 8
+
+    def test_corrects_40_errors_in_1kib(self, big_code):
+        rng = random.Random(42)
+        data = bytes(rng.randrange(256) for __ in range(1024))
+        codeword = big_code.encode(data)
+        positions = rng.sample(range(len(codeword) * 8), 40)
+        decoded, corrected = big_code.decode(
+            inject_errors(codeword, positions), len(data))
+        assert decoded == data
+        assert corrected == 40
+
+
+class TestInjectErrors:
+    def test_flip_is_involution(self):
+        payload = bytes(range(16))
+        once = inject_errors(payload, [5, 77])
+        assert inject_errors(once, [77, 5]) == payload
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            inject_errors(b"ab", [16])
+        with pytest.raises(ValueError):
+            inject_errors(b"ab", [-1])

@@ -1,0 +1,140 @@
+"""Tests for GF(2^m) arithmetic and GF(2)[x] polynomial helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.galois import (GF2m, PRIMITIVE_POLYNOMIALS, poly2_degree,
+                              poly2_gcd, poly2_mod, poly2_multiply)
+
+
+@pytest.fixture(scope="module")
+def gf8():
+    return GF2m(8)
+
+
+class TestFieldConstruction:
+    def test_all_builtin_polys_are_primitive(self):
+        for m in PRIMITIVE_POLYNOMIALS:
+            field = GF2m(m)
+            assert field.order == 1 << m
+
+    def test_non_primitive_poly_rejected(self):
+        # x^4 + 1 is not primitive over GF(2).
+        with pytest.raises(ValueError):
+            GF2m(4, primitive_poly=0b10001)
+
+    def test_unknown_m_without_poly_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(20)
+
+    def test_exp_log_inverse_tables(self, gf8):
+        for value in range(1, 256):
+            assert gf8.exp[gf8.log[value]] == value
+
+
+class TestFieldOperations:
+    def test_multiply_by_zero(self, gf8):
+        assert gf8.multiply(0, 123) == 0
+        assert gf8.multiply(77, 0) == 0
+
+    def test_multiply_identity(self, gf8):
+        for value in (1, 2, 100, 255):
+            assert gf8.multiply(value, 1) == value
+
+    def test_inverse(self, gf8):
+        for value in range(1, 256):
+            assert gf8.multiply(value, gf8.inverse(value)) == 1
+
+    def test_inverse_of_zero_raises(self, gf8):
+        with pytest.raises(ZeroDivisionError):
+            gf8.inverse(0)
+
+    def test_divide(self, gf8):
+        assert gf8.divide(gf8.multiply(7, 9), 9) == 7
+        assert gf8.divide(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf8.divide(3, 0)
+
+    def test_power(self, gf8):
+        alpha = 2
+        assert gf8.power(alpha, 0) == 1
+        assert gf8.power(alpha, 1) == alpha
+        assert gf8.power(alpha, 255) == 1  # group order
+        assert gf8.power(alpha, -1) == gf8.inverse(alpha)
+
+    def test_power_of_zero(self, gf8):
+        assert gf8.power(0, 3) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf8.power(0, 0)
+
+    def test_alpha_power_wraps(self, gf8):
+        assert gf8.alpha_power(255) == gf8.alpha_power(0) == 1
+
+    def test_poly_eval_constant(self, gf8):
+        assert gf8.poly_eval([42], 7) == 42
+
+    def test_poly_eval_linear(self, gf8):
+        # p(x) = 3 + 2x evaluated at x=5: 3 ^ mul(2,5)
+        assert gf8.poly_eval([3, 2], 5) == 3 ^ gf8.multiply(2, 5)
+
+    @given(a=st.integers(1, 255), b=st.integers(1, 255), c=st.integers(1, 255))
+    @settings(max_examples=200)
+    def test_multiplication_associative(self, a, b, c):
+        field = GF2m(8)
+        assert (field.multiply(field.multiply(a, b), c)
+                == field.multiply(a, field.multiply(b, c)))
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=200)
+    def test_multiplication_commutative(self, a, b):
+        field = GF2m(8)
+        assert field.multiply(a, b) == field.multiply(b, a)
+
+
+class TestCyclotomicCosets:
+    def test_coset_of_zero(self, gf8):
+        assert gf8.cyclotomic_coset(0) == [0]
+
+    def test_coset_closed_under_doubling(self, gf8):
+        coset = gf8.cyclotomic_coset(3)
+        for element in coset:
+            assert (element * 2) % 255 in coset
+
+    def test_minimal_polynomial_has_root(self, gf8):
+        for power in (1, 3, 5):
+            mask = gf8.minimal_polynomial(power)
+            coefficients = [(mask >> i) & 1 for i in range(mask.bit_length())]
+            assert gf8.poly_eval(coefficients, gf8.alpha_power(power)) == 0
+
+    def test_minimal_polynomial_of_alpha_is_primitive_poly(self, gf8):
+        assert gf8.minimal_polynomial(1) == gf8.primitive_poly
+
+
+class TestPoly2Helpers:
+    def test_degree(self):
+        assert poly2_degree(0) == -1
+        assert poly2_degree(1) == 0
+        assert poly2_degree(0b1011) == 3
+
+    def test_multiply_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert poly2_multiply(0b11, 0b11) == 0b101
+
+    def test_mod_exact_division(self):
+        product = poly2_multiply(0b1011, 0b111)
+        assert poly2_mod(product, 0b1011) == 0
+
+    def test_mod_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            poly2_mod(0b101, 0)
+
+    def test_gcd(self):
+        a = poly2_multiply(0b111, 0b1011)
+        b = poly2_multiply(0b111, 0b1101)
+        assert poly2_gcd(a, b) == 0b111
+
+    @given(a=st.integers(1, 2**20), b=st.integers(1, 2**20))
+    @settings(max_examples=100)
+    def test_mod_degree_property(self, a, b):
+        remainder = poly2_mod(a, b)
+        assert poly2_degree(remainder) < poly2_degree(b)

@@ -1,0 +1,125 @@
+"""Tests for the ECC latency models and fixed/adaptive schemes."""
+
+import pytest
+
+from repro.ecc import (AdaptiveBch, BchLatencyModel, CorrectionTable,
+                       FixedBch, default_schemes)
+from repro.nand import WearModel
+
+
+class TestLatencyModel:
+    def test_encode_insensitive_to_t(self):
+        """Paper: 'The encoding operation latency ... is not substantially
+        affected by the correction capability choice.'"""
+        model = BchLatencyModel()
+        low = model.encode_cycles(8192, t=4)
+        high = model.encode_cycles(8192, t=40)
+        assert low == high
+
+    def test_decode_grows_with_t(self):
+        """Paper: decode latency 'heavily grows with employed correction
+        capability'."""
+        model = BchLatencyModel()
+        cycles = [model.decode_cycles(8192, t) for t in (4, 10, 20, 40)]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] > 5 * cycles[0]
+
+    def test_decode_superlinear(self):
+        model = BchLatencyModel()
+        at_10 = model.decode_cycles(8192, 10)
+        at_40 = model.decode_cycles(8192, 40)
+        assert at_40 > 4 * at_10  # quadratic BM term dominates
+
+    def test_clean_decode_cheap(self):
+        model = BchLatencyModel()
+        clean = model.decode_cycles(8192, 40, errors_present=False)
+        dirty = model.decode_cycles(8192, 40, errors_present=True)
+        assert clean < dirty / 4
+
+    def test_time_conversion(self):
+        model = BchLatencyModel(clock_hz=250e6)
+        cycles = model.decode_cycles(8192, 8)
+        assert model.decode_time_ps(8192, 8) == cycles * 4000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BchLatencyModel(datapath_bits=0)
+        with pytest.raises(ValueError):
+            BchLatencyModel(clock_hz=0)
+        with pytest.raises(ValueError):
+            BchLatencyModel().decode_cycles(0, 4)
+        with pytest.raises(ValueError):
+            BchLatencyModel().decode_cycles(8192, -1)
+
+
+class TestCorrectionTable:
+    def test_lookup_brackets(self):
+        table = CorrectionTable(((1000, 8), (2000, 16), (3000, 40)))
+        assert table.lookup(0) == 8
+        assert table.lookup(1000) == 8
+        assert table.lookup(1001) == 16
+        assert table.lookup(2500) == 40
+
+    def test_lookup_beyond_table_end(self):
+        table = CorrectionTable(((1000, 8), (3000, 40)))
+        assert table.lookup(10_000) == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrectionTable(())
+        with pytest.raises(ValueError):
+            CorrectionTable(((2000, 8), (1000, 16)))
+        with pytest.raises(ValueError):
+            CorrectionTable(((1000, -1),))
+
+    def test_from_wear_model_monotone(self):
+        table = CorrectionTable.from_wear_model(WearModel(), 8192)
+        capabilities = [t for __, t in table.entries]
+        assert capabilities == sorted(capabilities)
+        assert capabilities[-1] == 40
+
+    def test_from_wear_model_fresh_needs_little(self):
+        table = CorrectionTable.from_wear_model(WearModel(), 8192)
+        assert table.lookup(0) < 15
+
+
+class TestSchemes:
+    def test_fixed_is_wear_independent(self):
+        fixed = FixedBch()
+        assert fixed.correction_for(0) == 40
+        assert fixed.correction_for(3000) == 40
+
+    def test_adaptive_tracks_wear(self):
+        adaptive = AdaptiveBch()
+        assert adaptive.correction_for(0) < adaptive.correction_for(3000)
+        assert adaptive.correction_for(3000) == 40
+
+    def test_adaptive_converges_to_fixed_at_end_of_life(self):
+        """The Fig. 5 crossover: at rated endurance both schemes decode at
+        t=40, so their latencies match."""
+        fixed, adaptive = default_schemes()
+        assert (adaptive.decode_time_ps(4096, 3000)
+                == pytest.approx(fixed.decode_time_ps(4096, 3000), rel=0.05))
+
+    def test_adaptive_faster_when_fresh(self):
+        fixed, adaptive = default_schemes()
+        assert (adaptive.decode_time_ps(4096, 0)
+                < 0.5 * fixed.decode_time_ps(4096, 0))
+
+    def test_encode_times_similar_across_schemes(self):
+        """Fig. 5: write throughput is nearly identical for both schemes."""
+        fixed, adaptive = default_schemes()
+        ratio = (fixed.encode_time_ps(4096, 0)
+                 / adaptive.encode_time_ps(4096, 0))
+        assert 0.8 < ratio < 1.25
+
+    def test_codewords_per_page(self):
+        fixed = FixedBch()
+        assert fixed.codewords_per_page(4096) == 4
+        assert fixed.codewords_per_page(4000) == 4
+        assert fixed.codewords_per_page(1024) == 1
+
+    def test_scheme_names(self):
+        fixed, adaptive = default_schemes()
+        assert fixed.name == "fixed-bch"
+        assert adaptive.name == "adaptive-bch"

@@ -1,0 +1,215 @@
+"""Tests for the real page-mapping FTL."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl import FlashBackend, FtlError, PageMapFtl
+
+
+def make_ftl(n_dies=2, planes=1, blocks=16, pages=8, logical=None,
+             **kwargs):
+    backend = FlashBackend(n_dies, planes, blocks, pages)
+    physical = n_dies * planes * blocks * pages
+    logical = logical if logical is not None else int(physical * 0.8)
+    return PageMapFtl(backend, logical, **kwargs), backend
+
+
+class TestBasicMapping:
+    def test_unmapped_lookup_is_none(self):
+        ftl, __ = make_ftl()
+        assert ftl.lookup(0) is None
+        assert ftl.read(0) is None
+
+    def test_write_then_lookup(self):
+        ftl, __ = make_ftl()
+        location = ftl.write(5)
+        assert ftl.lookup(5) == location
+
+    def test_rewrite_moves_page(self):
+        ftl, __ = make_ftl()
+        first = ftl.write(5)
+        second = ftl.write(5)
+        assert first != second
+        assert ftl.lookup(5) == second
+
+    def test_read_touches_backend(self):
+        ftl, backend = make_ftl()
+        ftl.write(3)
+        ftl.read(3)
+        assert backend.reads == 1
+
+    def test_out_of_range_rejected(self):
+        ftl, __ = make_ftl(logical=100)
+        with pytest.raises(FtlError):
+            ftl.write(100)
+        with pytest.raises(FtlError):
+            ftl.lookup(-1)
+        with pytest.raises(FtlError):
+            ftl.trim(100)
+
+    def test_writes_round_robin_across_dies(self):
+        ftl, __ = make_ftl(n_dies=4)
+        dies = {ftl.write(page)[0] for page in range(4)}
+        assert dies == {0, 1, 2, 3}
+
+
+class TestTrim:
+    def test_trim_unmaps(self):
+        ftl, __ = make_ftl()
+        ftl.write(9)
+        ftl.trim(9)
+        assert ftl.lookup(9) is None
+        assert ftl.trims == 1
+
+    def test_trim_unwritten_is_noop(self):
+        ftl, __ = make_ftl()
+        ftl.trim(9)
+        assert ftl.trims == 0
+
+    def test_trim_reduces_gc_work(self):
+        """TRIMmed pages are not relocated, so heavy-trim workloads show
+        lower WAF than rewrite workloads."""
+        ftl_trim, __ = make_ftl(logical=180)
+        ftl_rewrite, __ = make_ftl(logical=180)
+        rng = random.Random(3)
+        for __ in range(2000):
+            page = rng.randrange(180)
+            ftl_trim.trim(page)
+            ftl_trim.write(page)
+            ftl_rewrite.write(rng.randrange(180))
+        assert ftl_trim.waf <= ftl_rewrite.waf + 0.5
+
+
+class TestGarbageCollection:
+    def test_sustained_random_writes_do_not_starve(self):
+        ftl, __ = make_ftl(logical=180)
+        rng = random.Random(1)
+        for __ in range(5000):
+            ftl.write(rng.randrange(180))
+        assert ftl.waf > 1.0
+
+    def test_sequential_overwrite_waf_near_one(self):
+        ftl, __ = make_ftl(logical=180)
+        for cycle in range(10):
+            for page in range(180):
+                ftl.write(page)
+        assert ftl.waf < 1.3
+
+    def test_mapping_survives_gc(self):
+        """The core FTL invariant: after any amount of GC every logical
+        page still maps to exactly one physical page."""
+        ftl, __ = make_ftl(logical=180)
+        rng = random.Random(2)
+        shadow = {}
+        for __ in range(3000):
+            page = rng.randrange(180)
+            shadow[page] = True
+            ftl.write(page)
+        for page in shadow:
+            assert ftl.lookup(page) is not None
+        locations = [ftl.lookup(page) for page in shadow]
+        assert len(set(locations)) == len(locations)
+
+    def test_free_blocks_maintained(self):
+        ftl, backend = make_ftl(logical=180)
+        rng = random.Random(4)
+        for __ in range(3000):
+            ftl.write(rng.randrange(180))
+        for die in range(backend.n_dies):
+            assert ftl.free_blocks(die) >= 1
+
+    def test_insufficient_spare_rejected(self):
+        backend = FlashBackend(1, 1, 4, 8)
+        with pytest.raises(FtlError):
+            PageMapFtl(backend, logical_pages=30)
+
+
+class TestWearLeveling:
+    def test_wear_spread_bounded(self):
+        """Dynamic wear leveling keeps block P/E counts clustered."""
+        ftl, __ = make_ftl(n_dies=1, blocks=16, pages=8, logical=100)
+        rng = random.Random(5)
+        for __ in range(8000):
+            ftl.write(rng.randrange(100))
+        low, high = ftl.wear_spread()
+        assert high >= 1
+        assert high - low <= max(10, high // 2)
+
+    def test_backend_pe_accounting(self):
+        ftl, backend = make_ftl(logical=180)
+        rng = random.Random(6)
+        for __ in range(3000):
+            ftl.write(rng.randrange(180))
+        assert backend.erases == sum(backend.pe_cycles.values())
+
+
+class TestAccounting:
+    def test_waf_definition(self):
+        ftl, backend = make_ftl(logical=180)
+        rng = random.Random(7)
+        for __ in range(2000):
+            ftl.write(rng.randrange(180))
+        assert ftl.waf == pytest.approx(
+            (ftl.host_writes + ftl.gc_relocations) / ftl.host_writes)
+        assert backend.programs == ftl.host_writes + ftl.gc_relocations
+
+    def test_fresh_ftl_waf_is_one(self):
+        ftl, __ = make_ftl()
+        assert ftl.waf == 1.0
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_mapped_count_invariant_property(self, seed):
+        ftl, __ = make_ftl(logical=120)
+        rng = random.Random(seed)
+        written = set()
+        for __ in range(600):
+            page = rng.randrange(120)
+            if rng.random() < 0.2:
+                ftl.trim(page)
+                written.discard(page)
+            else:
+                ftl.write(page)
+                written.add(page)
+        assert ftl.mapped_pages() == len(written)
+
+
+class TestStaticWearLeveling:
+    def _run(self, threshold, writes=15000):
+        backend = FlashBackend(1, 1, 32, 16)
+        ftl = PageMapFtl(backend, logical_pages=int(32 * 16 * 0.7),
+                         static_wl_threshold=threshold)
+        rng = random.Random(11)
+        for page in range(ftl.logical_pages):   # cold fill
+            ftl.write(page)
+        hot = ftl.logical_pages // 10
+        for __ in range(writes):                # hammer 10% of the space
+            ftl.write(rng.randrange(hot))
+        return ftl
+
+    def test_disabled_by_default(self):
+        ftl = self._run(threshold=0)
+        assert ftl.static_wl_migrations == 0
+        low, high = ftl.wear_spread()
+        assert high - low > 20  # hot/cold skew visible
+
+    def test_threshold_bounds_spread(self):
+        """The core static-WL guarantee: P/E spread stays near the
+        threshold under a pathologically skewed workload."""
+        ftl = self._run(threshold=8)
+        low, high = ftl.wear_spread()
+        assert ftl.static_wl_migrations > 0
+        assert high - low <= 8 + 4  # threshold plus in-flight slack
+
+    def test_wear_leveling_costs_waf(self):
+        lazy = self._run(threshold=0)
+        busy = self._run(threshold=8)
+        assert busy.waf > lazy.waf
+
+    def test_mapping_intact_after_migrations(self):
+        ftl = self._run(threshold=8, writes=5000)
+        locations = [ftl.lookup(page) for page in range(ftl.logical_pages)]
+        assert all(location is not None for location in locations)
+        assert len(set(locations)) == len(locations)

@@ -1,0 +1,142 @@
+"""Tests for the WAF models (Hu et al. greedy abstraction)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl import (GreedyWafSimulator, WafModel, build_default_waf_model,
+                       spare_factor, waf_lru_analytic)
+
+
+class TestSpareFactor:
+    def test_basic(self):
+        assert spare_factor(1100, 1000) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spare_factor(1000, 1000)
+        with pytest.raises(ValueError):
+            spare_factor(900, 1000)
+        with pytest.raises(ValueError):
+            spare_factor(100, 0)
+
+
+class TestLruAnalytic:
+    def test_known_values(self):
+        assert waf_lru_analytic(1.0) == pytest.approx(1.0)
+        assert waf_lru_analytic(0.1) == pytest.approx(5.5)
+
+    def test_monotone_decreasing_in_spare(self):
+        values = [waf_lru_analytic(s) for s in (0.05, 0.1, 0.2, 0.5, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            waf_lru_analytic(0.0)
+
+
+class TestGreedySimulator:
+    def make(self, n_blocks=64, pages=32, logical=1800, **kwargs):
+        return GreedyWafSimulator(n_blocks, pages, logical, **kwargs)
+
+    def test_sequential_waf_is_one(self):
+        sim = self.make()
+        assert sim.measure_steady_state("sequential") == pytest.approx(1.0)
+
+    def test_random_waf_above_one(self):
+        sim = self.make()
+        waf = sim.measure_steady_state("random")
+        assert waf > 1.5
+
+    def test_greedy_beats_lru_bound(self):
+        spare = (64 * 32 - 1800) / 1800
+        sim = self.make()
+        assert sim.measure_steady_state("random") < waf_lru_analytic(spare)
+
+    def test_more_spare_means_less_waf(self):
+        tight = self.make(logical=1950)
+        loose = self.make(logical=1400)
+        assert (loose.measure_steady_state("random")
+                < tight.measure_steady_state("random"))
+
+    def test_accounting_consistency(self):
+        sim = self.make()
+        sim.write_random(5000)
+        assert sim.total_programs == sim.host_writes + sim.gc_relocations
+        assert sim.waf == pytest.approx(
+            sim.total_programs / sim.host_writes)
+
+    def test_valid_counts_never_exceed_block(self):
+        sim = self.make()
+        sim.write_random(5000)
+        assert all(0 <= count <= 32 for count in sim.valid_count)
+
+    def test_total_valid_equals_mapped(self):
+        sim = self.make()
+        sim.write_random(4000)
+        mapped = sum(1 for block in sim.block_of_page if block >= 0)
+        assert sum(sim.valid_count) == mapped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreedyWafSimulator(4, 32, 4 * 32)      # no spare
+        with pytest.raises(ValueError):
+            GreedyWafSimulator(4, 32, 64, gc_threshold_blocks=0)
+        with pytest.raises(ValueError):
+            self.make().write(-1)
+
+    def test_deterministic(self):
+        a = self.make(seed=7)
+        b = self.make(seed=7)
+        a.write_random(3000)
+        b.write_random(3000)
+        assert a.waf == b.waf
+
+    @given(seed=st.integers(1, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_map_consistency_property(self, seed):
+        sim = self.make(n_blocks=16, pages=8, logical=100, seed=seed)
+        sim.write_random(500)
+        # Every mapped logical page's block agrees with the reverse map.
+        for page, block in enumerate(sim.block_of_page):
+            if block >= 0:
+                assert page in sim.pages_in_block[block]
+
+
+class TestWafModel:
+    def test_pattern_selection(self):
+        model = WafModel(sequential_waf=1.0, random_waf=3.0)
+        assert model.waf_for("sequential") == 1.0
+        assert model.waf_for("random") == 3.0
+        with pytest.raises(ValueError):
+            model.waf_for("zipf")
+
+    def test_extra_operations_sequential(self):
+        model = WafModel(sequential_waf=1.0, random_waf=3.0,
+                         erase_share=1 / 128)
+        ops = model.extra_page_operations("sequential", 128)
+        assert ops["relocations"] == pytest.approx(0.0)
+        assert ops["erases"] == pytest.approx(1.0)
+
+    def test_extra_operations_random(self):
+        model = WafModel(random_waf=3.0, erase_share=1 / 128)
+        ops = model.extra_page_operations("random", 128)
+        assert ops["relocations"] == pytest.approx(256.0)
+        assert ops["erases"] == pytest.approx(3.0)
+
+    def test_carry_accumulates(self):
+        model = WafModel(random_waf=1.5)
+        ops = model.extra_page_operations("random", 1, carry=0.75)
+        assert ops["relocations"] == pytest.approx(1.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WafModel(sequential_waf=0.5)
+        with pytest.raises(ValueError):
+            WafModel(erase_share=2.0)
+        with pytest.raises(ValueError):
+            WafModel().extra_page_operations("random", -1)
+
+    def test_build_default(self):
+        model = build_default_waf_model()
+        assert model.sequential_waf == 1.0
+        assert 2.0 < model.random_waf < 5.0

@@ -1,0 +1,336 @@
+"""Tests for commands, host interfaces, workloads and the trace player."""
+
+import pytest
+
+from repro.host import (AccessPattern, HostInterface, IoCommand, IoOpcode,
+                        TraceError, Workload, format_trace, parse_trace,
+                        pcie_nvme_spec, random_read, random_write, sata2_spec,
+                        sequential_read, sequential_write)
+from repro.kernel import Simulator
+from repro.kernel.simtime import us
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestIoCommand:
+    def test_nbytes(self):
+        command = IoCommand(IoOpcode.WRITE, 0, 8)
+        assert command.nbytes == 4096
+
+    def test_predicates(self):
+        assert IoCommand(IoOpcode.WRITE, 0, 1).is_write
+        assert IoCommand(IoOpcode.READ, 0, 1).is_read
+        assert not IoCommand(IoOpcode.READ, 0, 1).is_write
+
+    def test_latency_requires_completion(self):
+        command = IoCommand(IoOpcode.READ, 0, 8)
+        with pytest.raises(ValueError):
+            __ = command.latency_ps
+        command.issue_time_ps = 100
+        command.complete_time_ps = 500
+        assert command.latency_ps == 400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IoCommand(IoOpcode.WRITE, -1, 8)
+        with pytest.raises(ValueError):
+            IoCommand(IoOpcode.WRITE, 0, 0)
+
+    def test_flush_allows_zero_sectors(self):
+        IoCommand(IoOpcode.FLUSH, 0, 0)
+
+
+class TestInterfaceSpecs:
+    def test_sata_ideal_4k_throughput(self):
+        """The 'SATA ideal' bar of Fig. 3: ~270 MB/s at 4 KiB blocks."""
+        spec = sata2_spec()
+        ideal = spec.ideal_throughput_mbps(4096)
+        assert 250 < ideal < 300
+
+    def test_sata_queue_depth_capped_at_32(self):
+        assert sata2_spec().queue_depth == 32
+        with pytest.raises(ValueError):
+            sata2_spec(queue_depth=33)
+
+    def test_pcie_gen2_x8_much_faster_than_sata(self):
+        sata = sata2_spec()
+        pcie = pcie_nvme_spec(generation=2, lanes=8)
+        assert (pcie.ideal_throughput_mbps(4096)
+                > 5 * sata.ideal_throughput_mbps(4096))
+
+    def test_nvme_queue_depth_64k(self):
+        assert pcie_nvme_spec().queue_depth == 65536
+
+    def test_pcie_scaling_with_lanes(self):
+        x4 = pcie_nvme_spec(generation=2, lanes=4)
+        x8 = pcie_nvme_spec(generation=2, lanes=8)
+        assert x8.effective_bandwidth_bps == pytest.approx(
+            2 * x4.effective_bandwidth_bps)
+
+    def test_pcie_gen3_uses_128b130b(self):
+        gen2 = pcie_nvme_spec(generation=2, lanes=4)
+        gen3 = pcie_nvme_spec(generation=3, lanes=4)
+        assert gen3.effective_bandwidth_bps > 1.8 * gen2.effective_bandwidth_bps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pcie_nvme_spec(generation=4)
+        with pytest.raises(ValueError):
+            pcie_nvme_spec(lanes=3)
+        with pytest.raises(ValueError):
+            pcie_nvme_spec(queue_depth=0)
+        with pytest.raises(ValueError):
+            sata2_spec().payload_time_ps(-1)
+
+    def test_payload_time(self):
+        spec = sata2_spec()
+        # ~4 KiB at ~294 MB/s ~= 13.9 us.
+        assert spec.payload_time_ps(4096) == pytest.approx(us(13.9),
+                                                           rel=0.05)
+
+
+class TestHostInterfaceComponent:
+    def test_link_serializes_transfers(self, sim):
+        hostif = HostInterface(sim, sata2_spec())
+        finishes = []
+
+        def client():
+            yield sim.process(hostif.transfer(4096))
+            finishes.append(sim.now)
+
+        sim.process(client())
+        sim.process(client())
+        sim.run()
+        assert len(finishes) == 2
+        assert finishes[1] == pytest.approx(2 * finishes[0], rel=1e-6)
+
+    def test_queue_slots_block_at_depth(self, sim):
+        hostif = HostInterface(sim, sata2_spec(queue_depth=2))
+        acquired = []
+
+        def client(tag):
+            grant = yield from hostif.acquire_slot()
+            acquired.append((tag, sim.now))
+            yield sim.timeout(us(10))
+            hostif.release_slot(grant)
+
+        for tag in range(3):
+            sim.process(client(tag))
+        sim.run()
+        assert acquired[0][1] == 0
+        assert acquired[1][1] == 0
+        assert acquired[2][1] == us(10)
+
+    def test_overhead_optional(self, sim):
+        hostif = HostInterface(sim, sata2_spec())
+
+        def flow():
+            start = sim.now
+            yield sim.process(hostif.transfer(4096,
+                                              with_command_overhead=False))
+            bare = sim.now - start
+            start = sim.now
+            yield sim.process(hostif.transfer(4096))
+            return bare, sim.now - start
+
+        bare, full = sim.run(until=sim.process(flow()))
+        assert full - bare == sata2_spec().command_overhead_ps
+
+
+class TestWorkloads:
+    def test_sequential_write_lbas(self):
+        workload = sequential_write(4096 * 4)
+        commands = workload.to_list()
+        assert [c.lba for c in commands] == [0, 8, 16, 24]
+        assert all(c.opcode is IoOpcode.WRITE for c in commands)
+
+    def test_sequential_wraps_span(self):
+        workload = sequential_write(4096 * 4, span_bytes=4096 * 2)
+        assert [c.lba for c in workload.to_list()] == [0, 8, 0, 8]
+
+    def test_random_read_within_span(self):
+        workload = random_read(4096 * 100, span_bytes=1 << 20)
+        max_lba = (1 << 20) // 512
+        for command in workload.commands():
+            assert 0 <= command.lba < max_lba
+            assert command.lba % 8 == 0
+            assert command.opcode is IoOpcode.READ
+
+    def test_random_is_deterministic(self):
+        a = random_write(4096 * 50, seed=9).to_list()
+        b = random_write(4096 * 50, seed=9).to_list()
+        assert [c.lba for c in a] == [c.lba for c in b]
+
+    def test_random_seeds_differ(self):
+        a = random_write(4096 * 50, seed=1).to_list()
+        b = random_write(4096 * 50, seed=2).to_list()
+        assert [c.lba for c in a] != [c.lba for c in b]
+
+    def test_random_spread(self):
+        commands = random_write(4096 * 200, span_bytes=1 << 24).to_list()
+        unique_lbas = {c.lba for c in commands}
+        assert len(unique_lbas) > 150
+
+    def test_n_commands(self):
+        assert sequential_read(1 << 20).n_commands == 256
+
+    def test_pattern_name(self):
+        assert sequential_write(4096).pattern_name == "sequential"
+        assert random_write(4096).pattern_name == "random"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload(AccessPattern.SEQUENTIAL, IoOpcode.WRITE, 4096,
+                     block_bytes=100)
+        with pytest.raises(ValueError):
+            Workload(AccessPattern.SEQUENTIAL, IoOpcode.WRITE, 1024,
+                     block_bytes=4096)
+        with pytest.raises(ValueError):
+            Workload(AccessPattern.SEQUENTIAL, IoOpcode.WRITE, 4096,
+                     span_bytes=1024)
+
+
+class TestTracePlayer:
+    def test_parse_basic(self):
+        commands = parse_trace("""
+            # a comment
+            0.0  W 0  8
+            10.5 R 64 8
+            20.0 T 128 8
+        """)
+        assert len(commands) == 3
+        assert commands[0].opcode is IoOpcode.WRITE
+        assert commands[1].issue_time_ps == us(10.5)
+        assert commands[2].opcode is IoOpcode.TRIM
+
+    def test_roundtrip_through_format(self):
+        original = parse_trace("0.0 W 0 8\n1.5 R 64 16\n")
+        again = parse_trace(format_trace(original))
+        assert [(c.opcode, c.lba, c.sectors) for c in again] \
+            == [(c.opcode, c.lba, c.sectors) for c in original]
+
+    def test_save_load_file(self, tmp_path):
+        from repro.host import load_trace, save_trace
+        path = tmp_path / "trace.txt"
+        commands = sequential_write(4096 * 3).to_list()
+        save_trace(str(path), commands)
+        loaded = load_trace(str(path))
+        assert [c.lba for c in loaded] == [c.lba for c in commands]
+
+    def test_errors(self):
+        with pytest.raises(TraceError):
+            parse_trace("0.0 W 0\n")            # missing field
+        with pytest.raises(TraceError):
+            parse_trace("0.0 X 0 8\n")          # bad opcode
+        with pytest.raises(TraceError):
+            parse_trace("abc W 0 8\n")          # bad time
+        with pytest.raises(TraceError):
+            parse_trace("-1 W 0 8\n")           # negative time
+
+    def test_tags_sequential(self):
+        commands = parse_trace("0 W 0 8\n0 W 8 8\n0 W 16 8\n")
+        assert [c.tag for c in commands] == [0, 1, 2]
+
+
+class TestSataGenerations:
+    def test_three_generations(self):
+        from repro.host import sata_spec
+        gen1 = sata_spec(1)
+        gen2 = sata_spec(2)
+        gen3 = sata_spec(3)
+        assert gen2.effective_bandwidth_bps == pytest.approx(
+            2 * gen1.effective_bandwidth_bps)
+        assert gen3.effective_bandwidth_bps == pytest.approx(
+            2 * gen2.effective_bandwidth_bps)
+
+    def test_ncq_cap_everywhere(self):
+        from repro.host import sata_spec
+        for generation in (1, 2, 3):
+            assert sata_spec(generation).queue_depth == 32
+
+    def test_sata2_alias(self):
+        from repro.host import sata2_spec, sata_spec
+        assert sata2_spec() == sata_spec(2)
+
+    def test_unsupported_generation(self):
+        from repro.host import sata_spec
+        with pytest.raises(ValueError):
+            sata_spec(4)
+
+    def test_overhead_shrinks_with_line_rate(self):
+        from repro.host import sata_spec
+        assert sata_spec(3).command_overhead_ps \
+            < sata_spec(2).command_overhead_ps
+
+
+class TestMixedWorkload:
+    def test_read_fraction_respected(self):
+        from repro.host import mixed_workload
+        workload = mixed_workload(4096 * 400, read_fraction=0.7)
+        reads = sum(1 for c in workload.commands()
+                    if c.opcode is IoOpcode.READ)
+        assert 0.6 * 400 < reads < 0.8 * 400
+
+    def test_extremes(self):
+        from repro.host import mixed_workload
+        all_reads = mixed_workload(4096 * 50, read_fraction=1.0)
+        assert all(c.is_read for c in all_reads.commands())
+        all_writes = mixed_workload(4096 * 50, read_fraction=0.0)
+        assert all(c.is_write for c in all_writes.commands())
+
+    def test_deterministic(self):
+        from repro.host import mixed_workload
+        a = mixed_workload(4096 * 50, seed=3).to_list()
+        b = mixed_workload(4096 * 50, seed=3).to_list()
+        assert [(c.opcode, c.lba) for c in a] \
+            == [(c.opcode, c.lba) for c in b]
+
+    def test_validation(self):
+        from repro.host import mixed_workload
+        with pytest.raises(ValueError):
+            mixed_workload(4096 * 10, read_fraction=1.5)
+        with pytest.raises(ValueError):
+            mixed_workload(100)
+
+
+class TestTimedWorkload:
+    def test_issue_times_spaced_by_rate(self):
+        from repro.host import timed_workload
+        workload = timed_workload(rate_iops=1000, duration_s=0.02)
+        commands = workload.to_list()
+        assert len(commands) == 20
+        assert commands[1].issue_time_ps - commands[0].issue_time_ps \
+            == 10**9  # 1 ms at 1000 IOPS
+
+    def test_validation(self):
+        from repro.host import timed_workload
+        with pytest.raises(ValueError):
+            timed_workload(0, 1)
+        with pytest.raises(ValueError):
+            timed_workload(100, 0)
+
+    def test_open_loop_run_tracks_offered_rate(self):
+        """Replaying a timed stream below saturation: completion rate ==
+        offered rate (not the device's max)."""
+        from repro.host import timed_workload
+        from repro.kernel import Simulator
+        from repro.nand import NandGeometry
+        from repro.ssd import (CachePolicy, SsdArchitecture, SsdDevice,
+                               run_workload)
+        workload = timed_workload(rate_iops=2000, duration_s=0.05,
+                                  read_fraction=0.0, span_bytes=1 << 20)
+        geo = NandGeometry(planes_per_die=1, blocks_per_plane=64,
+                           pages_per_block=32)
+        arch = SsdArchitecture(n_channels=2, n_ways=2, dies_per_way=2,
+                               geometry=geo, n_ddr_buffers=2,
+                               dram_refresh=False)
+        sim = Simulator()
+        device = SsdDevice(sim, arch)
+        result = run_workload(sim, device, workload,
+                              honor_issue_times=True)
+        offered_mbps = 2000 * 4096 / 1e6
+        assert result.throughput_mbps == pytest.approx(offered_mbps,
+                                                       rel=0.15)

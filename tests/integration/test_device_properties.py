@@ -1,0 +1,78 @@
+"""Property-based tests at the device level: arbitrary command mixes must
+complete, conserve bytes, and never violate NAND protocol rules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.host import CommandListWorkload, IoCommand, IoOpcode
+from repro.kernel import Simulator
+from repro.nand import NandGeometry
+from repro.ssd import (CachePolicy, FtlSsdDevice, SsdArchitecture,
+                       SsdDevice, run_workload)
+
+GEO = NandGeometry(planes_per_die=1, blocks_per_plane=32, pages_per_block=16)
+
+
+def tiny_arch(**overrides):
+    defaults = dict(n_channels=2, n_ways=2, dies_per_way=1, n_ddr_buffers=2,
+                    geometry=GEO, dram_refresh=False,
+                    cache_policy=CachePolicy.NO_CACHING)
+    defaults.update(overrides)
+    return SsdArchitecture(**defaults)
+
+
+command_strategy = st.lists(
+    st.tuples(
+        st.sampled_from([IoOpcode.WRITE, IoOpcode.READ, IoOpcode.TRIM]),
+        st.integers(0, 4000),           # lba (sector units)
+        st.sampled_from([8, 16, 24]),   # sectors (4-12 KiB)
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def build_commands(spec):
+    return [IoCommand(opcode, lba - lba % 8, sectors)
+            for opcode, lba, sectors in spec]
+
+
+class TestArbitraryMixes:
+    @given(spec=command_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_waf_device_completes_any_mix(self, spec):
+        commands = build_commands(spec)
+        sim = Simulator()
+        device = SsdDevice(sim, tiny_arch())
+        device.preload_for_reads()
+        result = run_workload(sim, device, CommandListWorkload(commands))
+        assert result.commands == len(commands)
+        expected_bytes = sum(c.nbytes for c in commands
+                             if c.opcode is not IoOpcode.TRIM)
+        assert device.bytes_completed == expected_bytes
+        assert device.buffers.total_occupancy() == 0
+
+    @given(spec=command_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_ftl_device_completes_any_mix(self, spec):
+        commands = build_commands(spec)
+        sim = Simulator()
+        device = FtlSsdDevice(sim, tiny_arch(), logical_utilization=0.5,
+                              ftl_blocks_per_plane=32)
+        result = run_workload(sim, device, CommandListWorkload(commands))
+        assert result.commands == len(commands)
+        # The FTL's map is consistent: mapped pages <= logical space.
+        assert device.ftl.mapped_pages() <= device.ftl.logical_pages
+
+    @given(spec=command_strategy,
+           policy=st.sampled_from([CachePolicy.CACHING,
+                                   CachePolicy.NO_CACHING]))
+    @settings(max_examples=15, deadline=None)
+    def test_latencies_positive_and_ordered(self, spec, policy):
+        commands = build_commands(spec)
+        sim = Simulator()
+        device = SsdDevice(sim, tiny_arch(cache_policy=policy))
+        device.preload_for_reads()
+        result = run_workload(sim, device, CommandListWorkload(commands))
+        assert result.mean_latency_us > 0
+        assert result.p50_latency_us <= result.p99_latency_us
+        for command in commands:
+            assert command.complete_time_ps >= command.issue_time_ps >= 0

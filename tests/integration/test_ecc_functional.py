@@ -1,0 +1,97 @@
+"""Functional cross-validation: wear model -> RBER -> real BCH decode.
+
+The Fig. 5 experiment rests on a chain of models: P/E cycles set the RBER
+(wear model), the RBER sets the required correction capability
+(adaptive table), and the correction capability sets the decode latency
+(codec latency model).  These tests close the loop *functionally*: pages
+carrying real data are corrupted at the wear model's error rate and
+decoded with the real BCH codec at the table's chosen ``t`` — the
+correction capability the platform charges for must actually suffice.
+"""
+
+import random
+
+import pytest
+
+from repro.ecc import AdaptiveBch, BchCode, BchDecodeFailure, inject_errors
+from repro.nand import WearModel
+
+SECTOR_BYTES = 1024
+CODEWORD_BITS = SECTOR_BYTES * 8
+
+
+def deterministic_error_count(rber: float, bits: int, seed: int) -> int:
+    """Sample a binomial(bits, rber) error count, deterministically."""
+    rng = random.Random(seed)
+    # Bits are independent; for the small p values here a direct Bernoulli
+    # scan is affordable and exact.
+    return sum(1 for __ in range(bits) if rng.random() < rber)
+
+
+class TestAdaptiveTableSufficiency:
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_table_t_decodes_wear_rate_errors(self, fraction):
+        """At every wear point, the adaptive table's t corrects a page
+        corrupted at that wear's raw bit error rate."""
+        wear = WearModel()
+        scheme = AdaptiveBch()
+        pe = wear.pe_for_normalized(fraction)
+        t = scheme.correction_for(pe)
+        code = BchCode(m=14, t=max(1, t))
+
+        rng = random.Random(1000 + int(fraction * 100))
+        payload = bytes(rng.randrange(256) for __ in range(SECTOR_BYTES))
+        codeword = code.encode(payload)
+
+        for trial in range(5):
+            n_errors = deterministic_error_count(
+                wear.rber(pe), CODEWORD_BITS, seed=trial + int(pe))
+            assert n_errors <= t, (
+                f"wear {fraction}: sampled {n_errors} errors exceeds "
+                f"table t={t} — calibration broken")
+            positions = rng.sample(range(len(codeword) * 8), n_errors) \
+                if n_errors else []
+            decoded, corrected = code.decode(
+                inject_errors(codeword, positions), SECTOR_BYTES)
+            assert decoded == payload
+            assert corrected == n_errors
+
+    def test_undersized_code_fails_at_end_of_life(self):
+        """A fresh-device t cannot protect end-of-life pages: the chain
+        would break without adaptation."""
+        wear = WearModel()
+        scheme = AdaptiveBch()
+        fresh_t = scheme.correction_for(0)
+        code = BchCode(m=14, t=fresh_t)
+
+        rng = random.Random(77)
+        payload = bytes(rng.randrange(256) for __ in range(SECTOR_BYTES))
+        codeword = code.encode(payload)
+
+        eol_rber = wear.rber(wear.rated_endurance)
+        failures = 0
+        for trial in range(6):
+            n_errors = deterministic_error_count(eol_rber, CODEWORD_BITS,
+                                                 seed=trial)
+            if n_errors <= fresh_t:
+                continue
+            positions = rng.sample(range(len(codeword) * 8), n_errors)
+            try:
+                decoded, __ = code.decode(inject_errors(codeword, positions),
+                                          SECTOR_BYTES)
+                if decoded != payload:
+                    failures += 1
+            except BchDecodeFailure:
+                failures += 1
+        assert failures >= 4  # fresh-t code collapses at end of life
+
+    def test_expected_errors_track_table_margin(self):
+        """The table sizes t with tail margin above the mean error count
+        (Poisson-tail design target), at every step."""
+        wear = WearModel()
+        scheme = AdaptiveBch()
+        for threshold, t in scheme.table.entries:
+            mean_errors = wear.rber(threshold) * CODEWORD_BITS
+            assert t >= mean_errors, (threshold, t, mean_errors)
+            # Margin shrinks in relative terms but stays positive.
+            assert t <= mean_errors + 8 * (mean_errors ** 0.5) + 6

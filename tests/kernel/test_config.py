@@ -1,0 +1,70 @@
+"""Tests for the text configuration parser."""
+
+import pytest
+
+from repro.kernel import ConfigError, loads, parse_flat_config
+
+
+class TestFlatFormat:
+    def test_basic_keys(self):
+        cfg = parse_flat_config("channels = 8\nways = 4\n")
+        assert cfg == {"channels": 8, "ways": 4}
+
+    def test_sections_prefix_keys(self):
+        cfg = parse_flat_config("[nand]\ndies = 2\n[host]\nkind = sata\n")
+        assert cfg == {"nand.dies": 2, "host.kind": "sata"}
+
+    def test_comments_and_blanks_ignored(self):
+        cfg = parse_flat_config("# top comment\n\nchannels = 4  # inline\n")
+        assert cfg == {"channels": 4}
+
+    def test_scalar_types(self):
+        cfg = parse_flat_config(
+            "i = 42\nhexa = 0x10\nf = 2.5\nyes = true\nno = off\ns = hello\n")
+        assert cfg["i"] == 42
+        assert cfg["hexa"] == 16
+        assert cfg["f"] == 2.5
+        assert cfg["yes"] is True
+        assert cfg["no"] is False
+        assert cfg["s"] == "hello"
+
+    def test_missing_equals_raises(self):
+        with pytest.raises(ConfigError):
+            parse_flat_config("just words\n")
+
+    def test_duplicate_key_raises(self):
+        with pytest.raises(ConfigError):
+            parse_flat_config("a = 1\na = 2\n")
+
+    def test_empty_key_raises(self):
+        with pytest.raises(ConfigError):
+            parse_flat_config(" = 3\n")
+
+    def test_empty_section_raises(self):
+        with pytest.raises(ConfigError):
+            parse_flat_config("[]\n")
+
+
+class TestJsonFormat:
+    def test_nested_json_flattened(self):
+        cfg = loads('{"nand": {"dies": 2, "timing": {"t_read_us": 60}}}')
+        assert cfg == {"nand.dies": 2, "nand.timing.t_read_us": 60}
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ConfigError):
+            loads("{broken")
+
+    def test_non_object_json_raises(self):
+        with pytest.raises(ConfigError):
+            loads("[1, 2]")
+
+    def test_autodetect_flat(self):
+        assert loads("a = 1\n") == {"a": 1}
+
+
+class TestLoadFile:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "ssd.cfg"
+        path.write_text("[geometry]\nchannels = 16\n")
+        from repro.kernel import load_file
+        assert load_file(str(path)) == {"geometry.channels": 16}

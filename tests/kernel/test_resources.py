@@ -1,0 +1,277 @@
+"""Tests for Resource, PriorityResource and Store."""
+
+import pytest
+
+from repro.kernel import (PriorityResource, Resource, SimulationError,
+                          Simulator, Store)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_immediate_grant_when_free(self, sim):
+        res = Resource(sim, "bus")
+        grant = res.acquire()
+        assert grant.triggered
+        assert res.in_use == 1
+
+    def test_fifo_arbitration(self, sim):
+        res = Resource(sim, "bus")
+        order = []
+
+        def user(tag, hold):
+            grant = res.acquire()
+            yield grant
+            order.append((tag, sim.now))
+            yield hold
+            res.release(grant)
+
+        for tag in range(3):
+            sim.process(user(tag, 100))
+        sim.run()
+        assert order == [(0, 0), (1, 100), (2, 200)]
+
+    def test_capacity_two_admits_two(self, sim):
+        res = Resource(sim, "dma", capacity=2)
+        admitted = []
+
+        def user(tag):
+            grant = res.acquire()
+            yield grant
+            admitted.append((tag, sim.now))
+            yield 50
+            res.release(grant)
+
+        for tag in range(4):
+            sim.process(user(tag))
+        sim.run()
+        assert admitted == [(0, 0), (1, 0), (2, 50), (3, 50)]
+
+    def test_double_release_raises(self, sim):
+        res = Resource(sim, "bus")
+        grant = res.acquire()
+        res.release(grant)
+        with pytest.raises(SimulationError):
+            res.release(grant)
+
+    def test_release_foreign_grant_raises(self, sim):
+        res_a = Resource(sim, "a")
+        res_b = Resource(sim, "b")
+        grant = res_a.acquire()
+        with pytest.raises(SimulationError):
+            res_b.release(grant)
+
+    def test_cancel_waiting_grant(self, sim):
+        res = Resource(sim, "bus")
+        holder = res.acquire()
+        waiter = res.acquire()
+        assert not waiter.triggered
+        res.release(waiter)          # cancel before admission
+        res.release(holder)
+        assert res.in_use == 0
+        assert res.queue_length == 0
+
+    def test_busy_time_tracks_holding(self, sim):
+        res = Resource(sim, "bus")
+
+        def user():
+            grant = res.acquire()
+            yield grant
+            yield 100
+            res.release(grant)
+            yield 100
+            grant = res.acquire()
+            yield grant
+            yield 50
+            res.release(grant)
+
+        sim.process(user())
+        sim.run()
+        assert res.busy_time() == 150
+        assert res.utilization() == pytest.approx(150 / 250)
+
+    def test_wait_time_accounting(self, sim):
+        res = Resource(sim, "bus")
+
+        def holder():
+            grant = res.acquire()
+            yield grant
+            yield 200
+            res.release(grant)
+
+        def waiter():
+            yield 50
+            grant = res.acquire()
+            yield grant
+            res.release(grant)
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run()
+        assert res.total_grants == 2
+        assert res.total_wait_ps == 150
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_first(self, sim):
+        res = PriorityResource(sim, "arb")
+        order = []
+
+        def holder():
+            grant = res.acquire()
+            yield grant
+            yield 100
+            res.release(grant)
+
+        def user(tag, priority):
+            yield 1
+            grant = res.acquire(priority)
+            yield grant
+            order.append(tag)
+            res.release(grant)
+
+        sim.process(holder())
+        sim.process(user("low-urgency", 5))
+        sim.process(user("urgent", 0))
+        sim.process(user("medium", 2))
+        sim.run()
+        assert order == ["urgent", "medium", "low-urgency"]
+
+    def test_equal_priority_fifo(self, sim):
+        res = PriorityResource(sim, "arb")
+        order = []
+
+        def holder():
+            grant = res.acquire()
+            yield grant
+            yield 100
+            res.release(grant)
+
+        def user(tag):
+            yield 1
+            grant = res.acquire(3)
+            yield grant
+            order.append(tag)
+            res.release(grant)
+
+        sim.process(holder())
+        for tag in range(4):
+            sim.process(user(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_cancel_waiting_priority_grant(self, sim):
+        res = PriorityResource(sim, "arb")
+        holder = res.acquire()
+        waiter = res.acquire(1)
+        res.release(waiter)
+        res.release(holder)
+        assert res.queue_length == 0
+        assert res.in_use == 0
+
+
+class TestStore:
+    def test_put_get_fifo(self, sim):
+        store = Store(sim, "q")
+        results = []
+
+        def producer():
+            for item in "abc":
+                yield store.put(item)
+                yield 10
+
+        def consumer():
+            for __ in range(3):
+                item = yield store.get()
+                results.append((item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert [item for item, __ in results] == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim, "q")
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield 500
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [("late", 500)]
+
+    def test_bounded_put_blocks(self, sim):
+        store = Store(sim, "q", capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("a")
+            log.append(("put-a", sim.now))
+            yield store.put("b")
+            log.append(("put-b", sim.now))
+
+        def consumer():
+            yield 100
+            item = yield store.get()
+            log.append((f"got-{item}", sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert ("put-a", 0) in log
+        assert ("put-b", 100) in log
+
+    def test_try_put_respects_capacity(self, sim):
+        store = Store(sim, "q", capacity=2)
+        assert store.try_put(1)
+        assert store.try_put(2)
+        assert not store.try_put(3)
+        assert len(store) == 2
+
+    def test_try_get(self, sim):
+        store = Store(sim, "q")
+        ok, item = store.try_get()
+        assert not ok and item is None
+        store.try_put("x")
+        ok, item = store.try_get()
+        assert ok and item == "x"
+
+    def test_peak_occupancy(self, sim):
+        store = Store(sim, "q")
+        for i in range(5):
+            store.try_put(i)
+        store.try_get()
+        assert store.peak_occupancy == 5
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_handoff_to_waiting_getter_keeps_store_empty(self, sim):
+        store = Store(sim, "q", capacity=1)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        sim.process(consumer())
+        sim.run()
+        store.try_put("direct")
+        sim.run()
+        assert got == ["direct"]
+        assert len(store) == 0

@@ -1,0 +1,98 @@
+"""Tests for the picosecond time base and Clock."""
+
+import pytest
+
+from repro.kernel import simtime
+from repro.kernel.simtime import Clock
+
+
+class TestUnitConversions:
+    def test_ns(self):
+        assert simtime.ns(1) == 1_000
+
+    def test_us(self):
+        assert simtime.us(1) == 1_000_000
+
+    def test_ms(self):
+        assert simtime.ms(1) == 1_000_000_000
+
+    def test_seconds(self):
+        assert simtime.seconds(1) == 1_000_000_000_000
+
+    def test_fractional_rounding(self):
+        assert simtime.ns(0.4) == 400
+        assert simtime.ns(0.0004) == 0
+        assert simtime.ns(0.0006) == 1
+
+    def test_roundtrip_to_seconds(self):
+        assert simtime.to_seconds(simtime.seconds(2.5)) == pytest.approx(2.5)
+
+    def test_roundtrip_to_us(self):
+        assert simtime.to_us(simtime.us(17)) == pytest.approx(17.0)
+
+    def test_period_from_hz_200mhz(self):
+        assert simtime.period_from_hz(200e6) == 5_000
+
+    def test_period_from_hz_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            simtime.period_from_hz(0)
+        with pytest.raises(ValueError):
+            simtime.period_from_hz(-1e6)
+
+
+class TestFormatTime:
+    def test_picoseconds(self):
+        assert simtime.format_time(42) == "42 ps"
+
+    def test_nanoseconds(self):
+        assert simtime.format_time(simtime.ns(3)) == "3 ns"
+
+    def test_microseconds(self):
+        assert simtime.format_time(simtime.us(60)) == "60 us"
+
+    def test_milliseconds(self):
+        assert simtime.format_time(simtime.ms(1.5)) == "1.5 ms"
+
+    def test_seconds_unit(self):
+        assert simtime.format_time(simtime.seconds(2)) == "2 s"
+
+
+class TestClock:
+    def test_period_from_frequency(self):
+        clock = Clock("cpu", frequency_hz=200e6)
+        assert clock.period_ps == 5_000
+
+    def test_explicit_period(self):
+        clock = Clock("onfi", period_ps=30_000)
+        assert clock.frequency_hz == pytest.approx(33.333e6, rel=1e-3)
+
+    def test_requires_exactly_one_spec(self):
+        with pytest.raises(ValueError):
+            Clock("bad")
+        with pytest.raises(ValueError):
+            Clock("bad", frequency_hz=1e6, period_ps=100)
+
+    def test_cycles(self):
+        clock = Clock("cpu", frequency_hz=200e6)
+        assert clock.cycles(10) == 50_000
+
+    def test_cycles_fractional(self):
+        clock = Clock("cpu", frequency_hz=200e6)
+        assert clock.cycles(1.5) == 7_500
+
+    def test_cycles_ceil(self):
+        clock = Clock("cpu", frequency_hz=200e6)
+        assert clock.cycles_ceil(5_000) == 1
+        assert clock.cycles_ceil(5_001) == 2
+        assert clock.cycles_ceil(1) == 1
+
+    def test_next_edge_aligned(self):
+        clock = Clock("cpu", period_ps=1000)
+        assert clock.next_edge(5000) == 5000
+
+    def test_next_edge_unaligned(self):
+        clock = Clock("cpu", period_ps=1000)
+        assert clock.next_edge(5001) == 6000
+
+    def test_repr_mentions_frequency(self):
+        assert "200" in repr(Clock("cpu", frequency_hz=200e6))

@@ -1,0 +1,341 @@
+"""Tests for the event calendar, processes and run-loop semantics."""
+
+import pytest
+
+from repro.kernel import (Event, Interrupt, SimulationError, Simulator, us)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEventBasics:
+    def test_fresh_event_is_pending(self, sim):
+        event = sim.event("e")
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            __ = sim.event().value
+
+    def test_ok_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            __ = sim.event().ok
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event().succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_double_succeed_raises(self, sim):
+        event = sim.event().succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_fail_carries_exception(self, sim):
+        error = RuntimeError("boom")
+        event = sim.event().fail(error)
+        assert event.triggered
+        assert not event.ok
+        assert event.value is error
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        event = sim.event().succeed("x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        assert seen == ["x"]
+
+
+class TestTimeoutOrdering:
+    def test_timeouts_fire_in_time_order(self, sim):
+        order = []
+        for delay in (30, 10, 20):
+            sim.timeout(delay).add_callback(
+                lambda ev, d=delay: order.append((sim.now, d)))
+        sim.run()
+        assert order == [(10, 10), (20, 20), (30, 30)]
+
+    def test_same_time_fifo_order(self, sim):
+        order = []
+        for tag in range(5):
+            sim.timeout(100).add_callback(lambda ev, t=tag: order.append(t))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_zero_delay_fires_at_now(self, sim):
+        fired = []
+        sim.timeout(0).add_callback(lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [0]
+
+
+class TestRunUntil:
+    def test_run_until_time_stops_clock_there(self, sim):
+        sim.timeout(us(10))
+        sim.run(until=us(3))
+        assert sim.now == us(3)
+
+    def test_events_at_stop_time_still_processed(self, sim):
+        hits = []
+        sim.timeout(us(3)).add_callback(lambda ev: hits.append(sim.now))
+        sim.run(until=us(3))
+        assert hits == [us(3)]
+
+    def test_run_until_past_raises(self, sim):
+        sim.timeout(10)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=5)
+
+    def test_run_until_event_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(100)
+            return "done"
+        assert sim.run(until=sim.process(proc())) == "done"
+
+    def test_run_until_event_reraises_failure(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            raise ValueError("inner")
+        with pytest.raises(ValueError, match="inner"):
+            sim.run(until=sim.process(proc()))
+
+    def test_run_until_never_fired_event_raises(self, sim):
+        orphan = sim.event()
+        sim.timeout(10)
+        with pytest.raises(SimulationError):
+            sim.run(until=orphan)
+
+    def test_run_drains_calendar(self, sim):
+        sim.timeout(5)
+        sim.timeout(9)
+        sim.run()
+        assert sim.peek() is None
+        assert sim.now == 9
+
+    def test_stop_aborts_run(self, sim):
+        sim.timeout(5).add_callback(lambda ev: sim.stop())
+        sim.timeout(50)
+        sim.run()
+        assert sim.now == 5
+
+    def test_until_bad_type_raises(self, sim):
+        with pytest.raises(TypeError):
+            sim.run(until=3.5)
+
+    def test_events_processed_counter(self, sim):
+        for __ in range(7):
+            sim.timeout(1)
+        sim.run()
+        assert sim.events_processed == 7
+
+
+class TestProcesses:
+    def test_yield_int_is_timeout(self, sim):
+        times = []
+
+        def proc():
+            yield 100
+            times.append(sim.now)
+            yield 50
+            times.append(sim.now)
+
+        sim.run(until=sim.process(proc()))
+        assert times == [100, 150]
+
+    def test_return_value_is_event_payload(self, sim):
+        def proc():
+            yield 1
+            return 99
+        assert sim.run(until=sim.process(proc())) == 99
+
+    def test_wait_on_process(self, sim):
+        def child():
+            yield 100
+            return "child-result"
+
+        def parent():
+            result = yield sim.process(child())
+            return (sim.now, result)
+
+        assert sim.run(until=sim.process(parent())) == (100, "child-result")
+
+    def test_wait_on_already_finished_process(self, sim):
+        def child():
+            yield 10
+            return "early"
+
+        def parent(child_proc):
+            yield 500
+            result = yield child_proc
+            return (sim.now, result)
+
+        child_proc = sim.process(child())
+        assert sim.run(until=sim.process(parent(child_proc))) == (500, "early")
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield 10
+            raise KeyError("nope")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except KeyError:
+                return "caught"
+            return "missed"
+
+        assert sim.run(until=sim.process(parent())) == "caught"
+
+    def test_yield_bad_value_fails_process(self, sim):
+        def proc():
+            yield "garbage"
+
+        with pytest.raises(SimulationError):
+            sim.run(until=sim.process(proc()))
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_active_process_visible_inside(self, sim):
+        seen = []
+
+        def proc():
+            seen.append(sim.active_process)
+            yield 1
+
+        handle = sim.process(proc())
+        sim.run(until=handle)
+        assert seen == [handle]
+        assert sim.active_process is None
+
+    def test_many_sequential_zero_delays_do_not_recurse(self, sim):
+        # Regression guard: resuming on already-processed events must not
+        # blow the Python stack.
+        def proc():
+            for __ in range(5000):
+                done = sim.event().succeed()
+                sim.run  # no-op touch to keep the loop honest
+                yield done
+            return "ok"
+
+        assert sim.run(until=sim.process(proc())) == "ok"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeping_process(self, sim):
+        def sleeper():
+            try:
+                yield us(100)
+            except Interrupt as interrupt:
+                return ("interrupted", sim.now, interrupt.cause)
+
+        handle = sim.process(sleeper())
+
+        def interrupter():
+            yield us(10)
+            handle.interrupt(cause="wakeup")
+
+        sim.process(interrupter())
+        assert sim.run(until=handle) == ("interrupted", us(10), "wakeup")
+
+    def test_interrupt_terminated_process_raises(self, sim):
+        def quick():
+            yield 1
+
+        handle = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            handle.interrupt()
+
+    def test_is_alive(self, sim):
+        def proc():
+            yield 10
+
+        handle = sim.process(proc())
+        assert handle.is_alive
+        sim.run()
+        assert not handle.is_alive
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        def make(delay, value):
+            yield delay
+            return value
+
+        def main():
+            procs = [sim.process(make(d, v)) for d, v in ((30, "a"), (10, "b"))]
+            results = yield sim.all_of(procs)
+            return (sim.now, sorted(results.values()))
+
+        assert sim.run(until=sim.process(main())) == (30, ["a", "b"])
+
+    def test_any_of_fires_on_first(self, sim):
+        def make(delay, value):
+            yield delay
+            return value
+
+        def main():
+            procs = [sim.process(make(d, v)) for d, v in ((30, "a"), (10, "b"))]
+            results = yield sim.any_of(procs)
+            return (sim.now, list(results.values()))
+
+        assert sim.run(until=sim.process(main())) == (10, ["b"])
+
+    def test_all_of_propagates_failure(self, sim):
+        def bad():
+            yield 5
+            raise RuntimeError("broken child")
+
+        def good():
+            yield 50
+
+        def main():
+            with pytest.raises(RuntimeError):
+                yield sim.all_of([sim.process(bad()), sim.process(good())])
+            return "handled"
+
+        assert sim.run(until=sim.process(main())) == "handled"
+
+    def test_empty_condition_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.all_of([])
+
+
+class TestCallbackScheduling:
+    def test_call_at(self, sim):
+        hits = []
+        sim.call_at(123, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [123]
+
+    def test_call_after(self, sim):
+        hits = []
+
+        def proc():
+            yield 100
+            sim.call_after(23, lambda: hits.append(sim.now))
+
+        sim.process(proc())
+        sim.run()
+        assert hits == [123]
+
+    def test_call_at_past_raises(self, sim):
+        sim.timeout(100)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(50, lambda: None)

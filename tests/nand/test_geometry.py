@@ -1,0 +1,81 @@
+"""Tests for NAND geometry and page addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nand import DEFAULT_GEOMETRY, NandGeometry, PageAddress
+
+
+class TestGeometryDerived:
+    def test_default_counts(self):
+        geo = DEFAULT_GEOMETRY
+        assert geo.blocks_per_die == 2 * 2048
+        assert geo.pages_per_die == 2 * 2048 * 128
+        assert geo.block_bytes == 128 * 4096
+
+    def test_die_bytes_is_1gib(self):
+        assert DEFAULT_GEOMETRY.die_bytes == 2 * 2048 * 128 * 4096
+
+    def test_raw_page_includes_spare(self):
+        geo = NandGeometry(page_bytes=4096, spare_bytes=224)
+        assert geo.raw_page_bytes == 4320
+
+    def test_validation_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            NandGeometry(planes_per_die=0)
+        with pytest.raises(ValueError):
+            NandGeometry(page_bytes=0)
+        with pytest.raises(ValueError):
+            NandGeometry(spare_bytes=-1)
+
+
+class TestPageAddressing:
+    def test_page_index_zero(self):
+        assert DEFAULT_GEOMETRY.page_index(PageAddress(0, 0, 0)) == 0
+
+    def test_page_index_ordering(self):
+        geo = NandGeometry(planes_per_die=2, blocks_per_plane=4,
+                           pages_per_block=8)
+        previous = -1
+        for plane in range(2):
+            for block in range(4):
+                for page in range(8):
+                    index = geo.page_index(PageAddress(plane, block, page))
+                    assert index == previous + 1
+                    previous = index
+
+    def test_address_validation(self):
+        geo = NandGeometry(planes_per_die=2, blocks_per_plane=4,
+                           pages_per_block=8)
+        with pytest.raises(ValueError):
+            geo.page_index(PageAddress(2, 0, 0))
+        with pytest.raises(ValueError):
+            geo.page_index(PageAddress(0, 4, 0))
+        with pytest.raises(ValueError):
+            geo.page_index(PageAddress(0, 0, 8))
+
+    def test_address_of_out_of_range(self):
+        with pytest.raises(ValueError):
+            DEFAULT_GEOMETRY.address_of(DEFAULT_GEOMETRY.pages_per_die)
+        with pytest.raises(ValueError):
+            DEFAULT_GEOMETRY.address_of(-1)
+
+    def test_iter_blocks_covers_all(self):
+        geo = NandGeometry(planes_per_die=2, blocks_per_plane=3,
+                           pages_per_block=4)
+        blocks = list(geo.iter_blocks())
+        assert len(blocks) == 6
+        assert len(set(blocks)) == 6
+
+    @given(st.integers(min_value=0,
+                       max_value=DEFAULT_GEOMETRY.pages_per_die - 1))
+    def test_roundtrip_property(self, index):
+        geo = DEFAULT_GEOMETRY
+        assert geo.page_index(geo.address_of(index)) == index
+
+    @given(plane=st.integers(0, 1), block=st.integers(0, 2047),
+           page=st.integers(0, 127))
+    def test_inverse_roundtrip_property(self, plane, block, page):
+        geo = DEFAULT_GEOMETRY
+        address = PageAddress(plane, block, page)
+        assert geo.address_of(geo.page_index(address)) == address

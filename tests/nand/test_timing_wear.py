@@ -1,0 +1,146 @@
+"""Tests for MLC timing variation and the wear/RBER model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.simtime import ms, us
+from repro.nand import MlcTimingModel, WearModel
+from repro.nand.timing import _block_jitter
+
+
+class TestMlcTiming:
+    def test_read_time_constant(self):
+        timing = MlcTimingModel()
+        assert timing.read_time(0) == us(60)
+        assert timing.read_time(127) == us(60)
+
+    def test_program_band_respected(self):
+        timing = MlcTimingModel()
+        ceiling = int(ms(3) * (1 + timing.prog_wear_slope))
+        for page in range(16):
+            for block in range(8):
+                duration = timing.program_time(page, block)
+                assert us(900) <= duration <= ceiling
+
+    def test_even_pages_faster_than_odd(self):
+        timing = MlcTimingModel()
+        for block in range(8):
+            assert (timing.program_time(0, block)
+                    < timing.program_time(1, block))
+
+    def test_wear_slows_programming(self):
+        timing = MlcTimingModel()
+        fresh = timing.program_time(3, 5, wear=0.0)
+        worn = timing.program_time(3, 5, wear=1.0)
+        assert worn > fresh
+        assert worn <= int(fresh * 1.15)
+
+    def test_erase_grows_with_wear(self):
+        timing = MlcTimingModel()
+        fresh = timing.erase_time(0, wear=0.0)
+        worn = timing.erase_time(0, wear=1.0)
+        assert ms(1) <= fresh < ms(2)
+        assert worn > ms(9)
+        assert worn <= ms(11)
+
+    def test_erase_wear_clamped(self):
+        timing = MlcTimingModel()
+        assert timing.erase_time(0, wear=5.0) == timing.erase_time(0, wear=1.0)
+
+    def test_mean_program_time_between_corners(self):
+        timing = MlcTimingModel()
+        mean = timing.mean_program_time()
+        assert us(900) < mean < ms(3)
+
+    def test_determinism(self):
+        timing = MlcTimingModel()
+        assert (timing.program_time(5, 17, 0.3)
+                == timing.program_time(5, 17, 0.3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MlcTimingModel(t_prog_fast_ps=ms(4))
+        with pytest.raises(ValueError):
+            MlcTimingModel(t_bers_min_ps=ms(20))
+        with pytest.raises(ValueError):
+            MlcTimingModel(t_read_ps=0)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_jitter_in_unit_interval(self, block):
+        assert 0.0 <= _block_jitter(block) < 1.0
+
+
+class TestWearModel:
+    def test_rber_monotone_in_pe(self):
+        wear = WearModel()
+        samples = [wear.rber(pe) for pe in range(0, 3001, 300)]
+        assert samples == sorted(samples)
+
+    def test_fresh_rber(self):
+        wear = WearModel()
+        assert wear.rber(0) == pytest.approx(1e-6)
+
+    def test_negative_pe_rejected(self):
+        with pytest.raises(ValueError):
+            WearModel().rber(-1)
+
+    def test_normalized_roundtrip(self):
+        wear = WearModel()
+        assert wear.normalized(wear.pe_for_normalized(0.5)) == pytest.approx(0.5)
+
+    def test_required_correction_calibration(self):
+        """The calibration the Fig. 5 experiment depends on: fresh flash
+        needs only a few correctable bits; rated endurance needs 40."""
+        wear = WearModel()
+        fresh = wear.required_correction(0, 8192)
+        end_of_life = wear.required_correction(wear.rated_endurance, 8192)
+        assert fresh <= 6
+        assert 38 <= end_of_life <= 42
+
+    def test_required_correction_monotone(self):
+        wear = WearModel()
+        values = [wear.required_correction(wear.pe_for_normalized(f), 8192)
+                  for f in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert values == sorted(values)
+
+    def test_required_correction_zero_rber(self):
+        wear = WearModel(rber_fresh=0.0, rber_growth=0.0)
+        assert wear.required_correction(100, 8192) == 0
+
+    def test_uncorrectable_raises(self):
+        wear = WearModel(rber_fresh=0.5)
+        with pytest.raises(ValueError):
+            wear.required_correction(0, 8192)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WearModel(rated_endurance=0)
+        with pytest.raises(ValueError):
+            WearModel(rber_fresh=-1)
+        with pytest.raises(ValueError):
+            WearModel().required_correction(0, 0)
+
+    @given(st.integers(min_value=0, max_value=6000),
+           st.integers(min_value=0, max_value=6000))
+    def test_rber_monotone_property(self, a, b):
+        wear = WearModel()
+        low, high = sorted((a, b))
+        assert wear.rber(low) <= wear.rber(high)
+
+
+class TestBlockWearState:
+    def test_erase_resets_program_count(self):
+        from repro.nand import BlockWearState
+        state = BlockWearState()
+        state.record_program()
+        state.record_program()
+        assert state.programmed_pages == 2
+        state.record_erase()
+        assert state.pe_cycles == 1
+        assert state.programmed_pages == 0
+
+    def test_read_counter(self):
+        from repro.nand import BlockWearState
+        state = BlockWearState()
+        state.record_read()
+        assert state.reads == 1

@@ -1,0 +1,139 @@
+"""Tests for SSD architecture configuration and config parsing."""
+
+import pytest
+
+from repro.compression import CompressorPlacement
+from repro.controller import GangScheme
+from repro.ecc import AdaptiveBch, FixedBch
+from repro.kernel import loads
+from repro.ssd import (CachePolicy, CpuMode, SsdArchitecture, from_config,
+                       parse_geometry_label)
+
+
+class TestArchitecture:
+    def test_defaults(self):
+        arch = SsdArchitecture()
+        assert arch.total_dies == 4 * 4 * 2
+        assert arch.label == "4-DDR-buf;4-CHN;4-WAY;2-DIE"
+        assert arch.cache_policy is CachePolicy.CACHING
+
+    def test_user_capacity(self):
+        arch = SsdArchitecture()
+        assert arch.user_capacity_bytes == arch.total_dies \
+            * arch.geometry.die_bytes
+
+    def test_buffers_bounded_by_channels(self):
+        with pytest.raises(ValueError):
+            SsdArchitecture(n_ddr_buffers=8, n_channels=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SsdArchitecture(n_channels=0)
+        with pytest.raises(ValueError):
+            SsdArchitecture(initial_pe_cycles=-1)
+
+    def test_with_host(self):
+        from repro.host import pcie_nvme_spec
+        arch = SsdArchitecture().with_host(pcie_nvme_spec())
+        assert arch.host.queue_depth == 65536
+
+    def test_with_cache_policy(self):
+        arch = SsdArchitecture().with_cache_policy(CachePolicy.NO_CACHING)
+        assert arch.cache_policy is CachePolicy.NO_CACHING
+
+    def test_scaled(self):
+        arch = SsdArchitecture().scaled(n_channels=8, n_ddr_buffers=8)
+        assert arch.n_channels == 8
+
+
+class TestGeometryLabel:
+    def test_roundtrip_with_label(self):
+        label = "16-DDR-buf;16-CHN;8-WAY;4-DIE"
+        arch = SsdArchitecture(**parse_geometry_label(label))
+        assert arch.label == label
+
+    def test_order_independent(self):
+        parsed = parse_geometry_label("2-DIE;4-WAY;8-CHN;8-DDR-buf")
+        assert parsed == {"dies_per_way": 2, "n_ways": 4, "n_channels": 8,
+                          "n_ddr_buffers": 8}
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            parse_geometry_label("8-CHN;4-WAY;2-DIE")
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            parse_geometry_label("8-FOO;8-CHN;4-WAY;2-DIE")
+        with pytest.raises(ValueError):
+            parse_geometry_label("x-CHN;8-DDR-buf;4-WAY;2-DIE")
+
+
+class TestFromConfig:
+    def test_full_config_text(self):
+        config = loads("""
+            [geometry]
+            label = 8-DDR-buf;8-CHN;4-WAY;2-DIE
+            [host]
+            kind = pcie
+            pcie_gen = 2
+            pcie_lanes = 8
+            [policy]
+            cache = false
+            [ecc]
+            kind = adaptive
+            [gang]
+            scheme = shared-control
+            [cpu]
+            mode = firmware
+            [ftl]
+            random_waf = 3.5
+            [nand]
+            initial_pe = 1500
+        """)
+        arch = from_config(config)
+        assert arch.n_channels == 8
+        assert "pcie" in arch.host.name
+        assert arch.cache_policy is CachePolicy.NO_CACHING
+        assert isinstance(arch.ecc, AdaptiveBch)
+        assert arch.gang_scheme is GangScheme.SHARED_CONTROL
+        assert arch.cpu_mode is CpuMode.FIRMWARE
+        assert arch.waf.random_waf == 3.5
+        assert arch.initial_pe_cycles == 1500
+
+    def test_sata_with_queue_depth(self):
+        arch = from_config({"host.kind": "sata2", "host.queue_depth": 16})
+        assert arch.host.queue_depth == 16
+
+    def test_fixed_ecc_with_t(self):
+        arch = from_config({"ecc.kind": "fixed", "ecc.t": 24})
+        assert isinstance(arch.ecc, FixedBch)
+        assert arch.ecc.t == 24
+
+    def test_compressor_placement(self):
+        arch = from_config({"compressor.placement": "host",
+                            "compressor.ratio": 2.5})
+        assert arch.compressor.placement is CompressorPlacement.HOST_INTERFACE
+        assert arch.compressor.ratio == 2.5
+
+    def test_empty_config_keeps_base(self):
+        base = SsdArchitecture(n_channels=16, n_ddr_buffers=16)
+        assert from_config({}, base=base) is base
+
+    def test_unknown_host_kind(self):
+        with pytest.raises(ValueError):
+            from_config({"host.kind": "scsi"})
+
+    def test_unknown_ecc_kind(self):
+        with pytest.raises(ValueError):
+            from_config({"ecc.kind": "ldpc"})
+
+
+class TestSataGenerationsFromConfig:
+    def test_sata_generation_variants(self):
+        assert from_config({"host.kind": "sata1"}).host.name == "sata1"
+        assert from_config({"host.kind": "sata3"}).host.name == "sata3"
+        assert from_config({"host.kind": "sata",
+                            "host.sata_gen": 3}).host.name == "sata3"
+
+    def test_sata2_still_default_generation(self):
+        assert from_config({"host.kind": "sata"}).host.name == "sata2"

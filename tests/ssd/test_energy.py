@@ -1,0 +1,109 @@
+"""Tests for the activity-based energy model and NAND timing presets."""
+
+import pytest
+
+from repro.host import sequential_read, sequential_write
+from repro.kernel import Simulator
+from repro.nand import MlcTimingModel, NandGeometry
+from repro.ssd import (CachePolicy, EnergyModel, SsdArchitecture, SsdDevice,
+                       run_workload)
+
+GEO = NandGeometry(planes_per_die=1, blocks_per_plane=64, pages_per_block=32)
+
+
+def run_device(workload, preload=False, **overrides):
+    defaults = dict(n_channels=2, n_ways=2, dies_per_way=2, n_ddr_buffers=2,
+                    geometry=GEO, dram_refresh=False,
+                    cache_policy=CachePolicy.NO_CACHING)
+    defaults.update(overrides)
+    sim = Simulator()
+    device = SsdDevice(sim, SsdArchitecture(**defaults))
+    if preload:
+        device.preload_for_reads()
+    run_workload(sim, device, workload)
+    return device
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def write_device(self):
+        return run_device(sequential_write(4096 * 80))
+
+    @pytest.fixture(scope="class")
+    def read_device(self):
+        return run_device(sequential_read(4096 * 80), preload=True)
+
+    def test_breakdown_covers_components(self, write_device):
+        breakdown = EnergyModel().breakdown_nj(write_device)
+        assert set(breakdown) == {"nand_program", "nand_read", "nand_erase",
+                                  "onfi_transfer", "dram", "host_link",
+                                  "static"}
+        assert all(value >= 0 for value in breakdown.values())
+
+    def test_writes_dominated_by_programs(self, write_device):
+        breakdown = EnergyModel().breakdown_nj(write_device)
+        dynamic = {name: value for name, value in breakdown.items()
+                   if name != "static"}
+        assert max(dynamic, key=dynamic.get) == "nand_program"
+
+    def test_reads_use_no_program_energy(self, read_device):
+        breakdown = EnergyModel().breakdown_nj(read_device)
+        assert breakdown["nand_program"] == 0
+        assert breakdown["nand_read"] > 0
+
+    def test_total_and_average_power_consistent(self, write_device):
+        model = EnergyModel()
+        seconds = write_device.sim.now / 1e12
+        assert model.average_watts(write_device) == pytest.approx(
+            model.total_mj(write_device) / 1e3 / seconds)
+
+    def test_nj_per_byte_scale(self, write_device):
+        """MLC-era SSD write energy is tens of nJ per byte."""
+        per_byte = EnergyModel().nj_per_host_byte(write_device)
+        assert 2 < per_byte < 200
+
+    def test_zero_energy_device(self):
+        sim = Simulator()
+        device = SsdDevice(sim, SsdArchitecture(
+            n_channels=2, n_ways=1, dies_per_way=1, n_ddr_buffers=1,
+            geometry=GEO, dram_refresh=False))
+        model = EnergyModel()
+        assert model.average_watts(device) == 0.0
+        assert model.nj_per_host_byte(device) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(nand_program_nj=-1)
+        with pytest.raises(ValueError):
+            EnergyModel(static_watts=-0.1)
+
+    def test_coefficients_scale_linearly(self, write_device):
+        base = EnergyModel()
+        double = EnergyModel(nand_program_nj=2 * base.nand_program_nj)
+        assert double.breakdown_nj(write_device)["nand_program"] \
+            == pytest.approx(
+                2 * base.breakdown_nj(write_device)["nand_program"])
+
+
+class TestTimingPresets:
+    def test_slc_faster_than_mlc_faster_than_tlc(self):
+        slc, mlc, tlc = (MlcTimingModel.slc(), MlcTimingModel.mlc(),
+                         MlcTimingModel.tlc())
+        assert slc.mean_program_time() < mlc.mean_program_time() \
+            < tlc.mean_program_time()
+        assert slc.t_read_ps < mlc.t_read_ps < tlc.t_read_ps
+
+    def test_mlc_preset_is_default(self):
+        assert MlcTimingModel.mlc() == MlcTimingModel()
+
+    def test_presets_respect_band_invariants(self):
+        for preset in (MlcTimingModel.slc(), MlcTimingModel.tlc()):
+            assert preset.t_prog_fast_ps <= preset.t_prog_slow_ps
+            assert preset.t_bers_min_ps <= preset.t_bers_max_ps
+
+    def test_tlc_device_slower_than_slc_device(self):
+        slc_device = run_device(sequential_write(4096 * 60),
+                                nand_timing=MlcTimingModel.slc())
+        tlc_device = run_device(sequential_write(4096 * 60),
+                                nand_timing=MlcTimingModel.tlc())
+        assert slc_device.sim.now < tlc_device.sim.now
