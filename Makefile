@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-fast bench
+
+# Tier-1 verification: the full unit/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Skip tests marked `slow` (the heavy benchmark sweeps).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# Kernel speed benchmark; refreshes BENCH_kernel_speed.json at the repo root.
+bench:
+	$(PYTHON) benchmarks/bench_kernel_speed.py

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Kernel speed benchmark harness (the Fig. 6 measurement).
+
+Runs the pure-kernel microbenchmark plus a SATA and a PCIe full-platform
+run, prints a summary, and refreshes ``BENCH_kernel_speed.json`` at the
+repo root so successive PRs accumulate a perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_speed.py [--commands N]
+    make bench            # same thing
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.kernelbench import (kernel_speed_report, render_report,
+                                    write_report)
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
+                              "BENCH_kernel_speed.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--commands", type=int, default=400,
+                        help="workload length for the SATA/PCIe runs")
+    parser.add_argument("--procs", type=int, default=100,
+                        help="process count for the microbenchmark")
+    parser.add_argument("--steps", type=int, default=2000,
+                        help="steps per process for the microbenchmark")
+    parser.add_argument("--out", type=str, default=DEFAULT_OUTPUT,
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    report = kernel_speed_report(n_commands=args.commands,
+                                 micro_procs=args.procs,
+                                 micro_steps=args.steps)
+    write_report(os.path.abspath(args.out), report)
+    print(render_report(report))
+    print(f"\nwrote {os.path.abspath(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

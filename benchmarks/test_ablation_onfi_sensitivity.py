@@ -17,6 +17,8 @@ from repro.nand import OnfiTiming
 from repro.ssd import DataPathMode, SsdArchitecture
 from repro.ssd.scenarios import measure
 
+pytestmark = pytest.mark.slow
+
 
 def arch_with_onfi(mega_transfers: int) -> SsdArchitecture:
     return SsdArchitecture(

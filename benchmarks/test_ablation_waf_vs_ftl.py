@@ -21,6 +21,10 @@ from repro.nand import NandGeometry
 from repro.ssd import (CachePolicy, FtlSsdDevice, SsdArchitecture,
                        SsdDevice, run_workload)
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 GEO = NandGeometry(planes_per_die=1, blocks_per_plane=16, pages_per_block=16)
 
 

@@ -10,10 +10,14 @@ paper's headline findings:
   how much internal parallelism is provisioned.
 """
 
+import pytest
 from repro.core import (ResourceCostModel, fig3_sweep,
                         render_breakdown_table, table2_configs)
 
 from conftest import bench_commands
+
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig3_sequential_write_sata(benchmark):

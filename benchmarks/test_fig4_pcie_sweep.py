@@ -11,10 +11,14 @@ paper's findings:
 * C6 remains the best performance/cost trade-off.
 """
 
+import pytest
 from repro.core import (ResourceCostModel, fig4_sweep,
                         render_breakdown_table, table2_configs)
 
 from conftest import bench_commands
+
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig4_sequential_write_pcie_nvme(benchmark):

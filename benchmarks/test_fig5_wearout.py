@@ -10,11 +10,15 @@ Regenerates the four series (fixed/adaptive BCH x read/write) on the
   write series of the two schemes overlap.
 """
 
+import pytest
 import os
 
 from repro.core import fig5_wearout_sweep, render_series_table
 
 from conftest import bench_commands
+
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig5_performance_over_wearout(benchmark):

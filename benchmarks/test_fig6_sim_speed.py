@@ -10,9 +10,13 @@ construction (event-driven Python skips idle cycles); the inverse scaling
 is the reproduced result.
 """
 
+import pytest
 from repro.core import (render_speed_table, speed_sweep, table3_configs)
 
 from conftest import bench_commands
+
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig6_simulation_speed(benchmark):

@@ -24,11 +24,12 @@ from typing import List, Optional
 
 from .core import (DesignSpaceExplorer, ResourceCostModel, TABLE2_LABELS,
                    fig3_sweep, fig4_sweep, fig5_wearout_sweep,
-                   render_breakdown_table, render_series_table,
+                   kernel_speed_report, render_breakdown_table,
+                   render_report, render_series_table,
                    render_speed_table, render_table,
                    render_validation_table, run_validation, speed_sweep,
                    table2_configs, table3_configs,
-                   verify_ssdexplorer_column)
+                   verify_ssdexplorer_column, write_report)
 from .host.workload import IOZONE_SUITE
 from .kernel import load_file
 from .ssd import SsdArchitecture, from_config, measure
@@ -88,6 +89,16 @@ def cmd_fig5(args: argparse.Namespace) -> int:
 def cmd_fig6(args: argparse.Namespace) -> int:
     samples = speed_sweep(table3_configs(), n_commands=args.commands)
     print(render_speed_table(samples))
+    return 0
+
+
+def cmd_bench_kernel(args: argparse.Namespace) -> int:
+    report = kernel_speed_report(n_commands=args.commands)
+    if args.out:
+        write_report(args.out, report)
+    print(render_report(report))
+    if args.out:
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -194,6 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
     fig6 = sub.add_parser("fig6", help="Fig. 6 simulation speed")
     fig6.add_argument("--commands", type=int, default=400)
     fig6.set_defaults(func=cmd_fig6)
+
+    bench = sub.add_parser("bench-kernel",
+                           help="kernel speed benchmark (events/sec, "
+                                "sim-time/wall-time)")
+    bench.add_argument("--commands", type=int, default=400)
+    bench.add_argument("--out", type=str, default="",
+                       help="also write the JSON report here")
+    bench.set_defaults(func=cmd_bench_kernel)
 
     run = sub.add_parser("run", help="run one architecture/workload")
     run.add_argument("--config", type=str, default="",

@@ -25,7 +25,7 @@ from typing import List, Optional
 from ..cpu.dma import DmaEngine
 from ..ecc.adaptive import EccScheme
 from ..kernel import Component, Resource, Simulator
-from ..kernel.tracing import trace
+from ..kernel.tracing import trace, trace_enabled
 from ..kernel.simtime import Clock, ns
 from ..nand.die import NandDie
 from ..nand.geometry import NandGeometry, PageAddress
@@ -136,8 +136,9 @@ class ChannelWayController(Component):
             self._die_locks[way][die_index].release(ready)
         self.stats.counter("programs").increment()
         self.stats.meter("write_data").record(self.geometry.page_bytes)
-        trace(self.sim.now, self.path(), "program",
-              f"way{way} die{die_index} {address}")
+        if trace_enabled():
+            trace(self.sim.now, self.path(), "program",
+                  f"way{way} die{die_index} {address}")
         return self.sim.now - start
 
     def read_page(self, way: int, die_index: int, address: PageAddress,
@@ -174,8 +175,9 @@ class ChannelWayController(Component):
             self.sram.release(slot)
         self.stats.counter("reads").increment()
         self.stats.meter("read_data").record(self.geometry.page_bytes)
-        trace(self.sim.now, self.path(), "read",
-              f"way{way} die{die_index} {address}")
+        if trace_enabled():
+            trace(self.sim.now, self.path(), "read",
+                  f"way{way} die{die_index} {address}")
         return self.sim.now - start
 
     def program_page_cached(self, way: int, die_index: int,
@@ -305,8 +307,9 @@ class ChannelWayController(Component):
         finally:
             self._die_locks[way][die_index].release(ready)
         self.stats.counter("erases").increment()
-        trace(self.sim.now, self.path(), "erase",
-              f"way{way} die{die_index} plane{plane} block{block}")
+        if trace_enabled():
+            trace(self.sim.now, self.path(), "erase",
+                  f"way{way} die{die_index} plane{plane} block{block}")
         return self.sim.now - start
 
     # ------------------------------------------------------------------

@@ -13,6 +13,8 @@ from .experiments import (TABLE2_LABELS, TABLE3_LABELS, fig3_sweep,
 from .explorer import (DesignPoint, DesignSpaceExplorer, ExplorationResult,
                        ResourceCostModel, generate_design_space)
 from .fullreport import generate_report
+from .kernelbench import (interface_speed, kernel_microbench,
+                          kernel_speed_report, render_report, write_report)
 from .features import (CAPABILITY_CHECKS, FEATURE_MATRIX, PLATFORMS,
                        SIMULATION_SPEED, render_table,
                        verify_ssdexplorer_column)
@@ -36,7 +38,8 @@ __all__ = [
     "TABLE2_LABELS", "TABLE3_LABELS", "ValidationPoint", "fig3_sweep",
     "fig3_workload", "fig4_sweep", "fig5_architecture",
     "fig5_wearout_sweep", "generate_design_space", "generate_report",
-    "measure_speed",
+    "interface_speed", "kernel_microbench", "kernel_speed_report",
+    "measure_speed", "render_report", "write_report",
     "render_breakdown_table",
     "render_series_table", "render_speed_table", "render_table",
     "render_validation_table", "run_validation", "speed_sweep",

@@ -6,7 +6,7 @@ from .commands import IoCommand, IoOpcode, SECTOR_BYTES
 from .interface import (HostInterface, HostInterfaceSpec, pcie_nvme_spec,
                         sata2_spec, sata_spec)
 from .trace import (TraceError, format_trace, load_trace, parse_trace,
-                    save_trace)
+                    play_trace, save_trace)
 from .workload import (AccessPattern, CommandListWorkload, IOZONE_SUITE,
                        Workload, mixed_workload, random_read, random_write,
                        sequential_read, sequential_write, timed_workload)
@@ -15,7 +15,7 @@ __all__ = [
     "AccessPattern", "CommandListWorkload", "HostInterface",
     "HostInterfaceSpec", "IOZONE_SUITE",
     "IoCommand", "IoOpcode", "SECTOR_BYTES", "TraceError", "Workload",
-    "format_trace", "load_trace", "parse_trace", "pcie_nvme_spec",
+    "format_trace", "load_trace", "parse_trace", "pcie_nvme_spec", "play_trace",
     "mixed_workload", "random_read", "random_write", "sata2_spec",
     "sata_spec", "save_trace", "timed_workload",
     "nvme", "sata", "sequential_read", "sequential_write",

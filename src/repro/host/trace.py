@@ -16,10 +16,16 @@ like the Fig. 3/4 experiments use.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional, TYPE_CHECKING
 
 from ..kernel.simtime import us
+from ..kernel.tracing import trace as kernel_trace, trace_enabled
 from .commands import IoCommand, IoOpcode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Simulator
+    from ..ssd.device import SsdDevice
+    from ..ssd.metrics import RunResult
 
 _OPCODE_LETTERS = {
     "R": IoOpcode.READ,
@@ -86,3 +92,28 @@ def save_trace(path: str, commands: Iterable[IoCommand]) -> None:
     """Write commands to a trace file."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(format_trace(commands))
+
+
+def play_trace(sim: "Simulator", device: "SsdDevice",
+               commands: List[IoCommand], pattern: str = "sequential",
+               label: str = "host.trace",
+               max_commands: Optional[int] = None) -> "RunResult":
+    """Replay a parsed command trace through ``device`` — the paper's
+    host-side trace player.  Each command is held until its
+    ``issue_time_ps`` before entering the interface queue (open loop).
+
+    When kernel tracing is enabled an ``issue`` record is emitted per
+    command; the ``trace_enabled()`` guard keeps the per-command detail
+    formatting entirely off the disabled path.
+    """
+    from ..ssd.metrics import run_workload  # deferred: breaks import cycle
+    from .workload import CommandListWorkload
+
+    if trace_enabled():
+        for command in commands:
+            kernel_trace(max(0, command.issue_time_ps), label, "issue",
+                         str(command))
+    workload = CommandListWorkload(list(commands), pattern=pattern)
+    return run_workload(sim, device, workload, max_commands=max_commands,
+                        label=label or workload.pattern_name,
+                        honor_issue_times=True)

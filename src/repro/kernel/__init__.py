@@ -21,7 +21,7 @@ from .simtime import (MS, NS, PS, SEC, US, Clock, format_time, ms, ns,
                       period_from_hz, ps, seconds, to_seconds, to_us, us)
 from .simulator import Simulator
 from .tracing import (TraceRecord, TraceRecorder, disable_tracing,
-                      enable_tracing, trace)
+                      enable_tracing, trace, trace_enabled)
 from .stats import (Accumulator, Counter, Histogram, StatSet, ThroughputMeter,
                     UtilizationTracker)
 
@@ -32,6 +32,7 @@ __all__ = [
     "Simulator", "StatSet", "Store", "ThroughputMeter", "Timeout", "US",
     "UtilizationTracker", "all_of", "any_of", "format_time", "load_file",
     "loads", "ms", "ns", "parse_flat_config", "period_from_hz", "ps",
-    "seconds", "to_seconds", "to_us", "trace", "us", "using_acquire",
+    "seconds", "to_seconds", "to_us", "trace", "trace_enabled", "us",
+    "using_acquire",
     "TraceRecord", "TraceRecorder", "disable_tracing", "enable_tracing",
 ]

@@ -120,11 +120,19 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        # Timeouts are the kernel's hottest allocation; inline the Event
+        # constructor and skip name formatting (repr derives it on demand).
+        self.sim = sim
+        self.name = ""
+        self.callbacks = []
         self.delay = delay
         self._ok = True
         self._value = value
         sim._schedule_event(self, delay=delay)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.callbacks is None else "scheduled"
+        return f"<Timeout delay={self.delay} {state}>"
 
 
 class Condition(Event):
@@ -148,18 +156,27 @@ class Condition(Event):
         self.events = list(events)
         self._count = 0
         self._need = len(self.events) if mode == self.ALL else 1
+        # Fast path: children that are already processed are counted via a
+        # direct call (no add_callback dispatch), which also lets an
+        # already-satisfied condition trigger before any heap traffic.
+        on_child = self._on_child
         for event in self.events:
-            event.add_callback(self._on_child)
+            callbacks = event.callbacks
+            if callbacks is None:
+                on_child(event)
+            else:
+                callbacks.append(on_child)
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if not event._ok:
             self.fail(event.value)
             return
         self._count += 1
         if self._count >= self._need:
-            self.succeed({ev: ev._value for ev in self.events if ev.triggered and ev._ok})
+            self.succeed({ev: ev._value for ev in self.events
+                          if ev._value is not PENDING and ev._ok})
 
 
 def all_of(sim: "Simulator", events: List[Event]) -> Condition:

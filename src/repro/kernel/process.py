@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
-from .events import Event, Interrupt, SimulationError, Timeout
+from .events import Event, Interrupt, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from .simulator import Simulator
@@ -34,10 +34,9 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self._waiting_on: Optional[Event] = None
-        # Kick off at the current simulation time.
-        bootstrap = Event(sim, name=f"{self.name}.start")
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        # Kick off at the current simulation time via a recycled kernel timer.
+        bootstrap = sim._pooled_timeout(0)
+        bootstrap.callbacks.append(self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -94,23 +93,19 @@ class Process(Event):
         sim._active_process = None
 
         if isinstance(target, int):
-            target = Timeout(sim, target)
+            target = sim._pooled_timeout(target)
         if not isinstance(target, Event):
             self._step(throw=SimulationError(
                 f"process {self.name} yielded {target!r}; expected Event, "
                 f"Process or int delay"))
             return
-        if target.processed:
+        if target.callbacks is None:
             # Already over: resume immediately (same sim time) via a fresh
-            # event so recursion depth stays bounded.
-            relay = Event(sim, name=f"{self.name}.relay")
-            relay.add_callback(self._resume)
-            if target._ok:
-                relay.succeed(target._value)
-            else:
+            # relay so recursion depth stays bounded.
+            relay = sim._pooled_timeout(0, target._value)
+            if not target._ok:
                 relay._ok = False
-                relay._value = target._value
-                sim._schedule_event(relay)
+            relay.callbacks.append(self._resume)
         else:
             self._waiting_on = target
-            target.add_callback(self._resume)
+            target.callbacks.append(self._resume)

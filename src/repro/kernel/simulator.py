@@ -1,10 +1,25 @@
 """The discrete-event simulation core.
 
-:class:`Simulator` owns the event calendar (a binary heap keyed on
-``(time, sequence)``) and the simulated clock.  It plays the role SystemC's
-kernel plays for the original SSDExplorer: components schedule timed events,
-processes synchronize on them, and :meth:`Simulator.run` advances virtual
-time until the calendar drains or a limit is reached.
+:class:`Simulator` owns the event calendar and the simulated clock.  It
+plays the role SystemC's kernel plays for the original SSDExplorer:
+components schedule timed events, processes synchronize on them, and
+:meth:`Simulator.run` advances virtual time until the calendar drains or a
+limit is reached.
+
+The calendar is a two-level structure tuned for the simulator's dominant
+access pattern (many events sharing a timestamp):
+
+* ``_times`` — a binary heap of *distinct* pending timestamps;
+* ``_buckets`` — a dict mapping each pending timestamp to the FIFO list of
+  events scheduled there.
+
+Scheduling an event at an already-pending timestamp is a plain list append
+(no heap operation, no ``(time, seq, event)`` tuple), and :meth:`run`
+drains a whole same-time batch per heap pop.  Events scheduled *at* the
+current time while a batch is draining join the tail of the live batch, so
+same-time cascades never re-heapify.  FIFO order within a timestamp is the
+list order, which preserves schedule order exactly as the old
+``(time, sequence)`` key did.
 
 Statistics that later feed the Fig. 6 "simulation speed" experiment are kept
 here too: the kernel counts processed events and exposes wall-clock totals.
@@ -14,10 +29,28 @@ from __future__ import annotations
 
 import heapq
 import time as _wall_time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from .events import Condition, Event, SimulationError, Timeout, all_of, any_of
 from .process import Process, ProcessGenerator
+
+
+class _PooledTimeout(Timeout):
+    """Kernel-internal timeout eligible for free-list reuse.
+
+    Only the kernel creates these — the timers behind :meth:`Simulator.call_at`
+    / :meth:`Simulator.call_after`, the implicit timeouts behind
+    ``yield <int>`` and process bootstrap/relay events — and user code never
+    receives a reference, so the run loop can recycle each one into the
+    simulator's free list the moment its callbacks have run.
+    """
+
+    __slots__ = ()
+
+
+#: Upper bound on the :class:`_PooledTimeout` free list; past this the
+#: recycled objects are simply dropped for the GC.
+_TIMEOUT_POOL_CAP = 1024
 
 
 class Simulator:
@@ -25,14 +58,17 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._queue: List[Tuple[int, int, Event]] = []
-        self._sequence: int = 0
+        #: Heap of distinct pending timestamps.
+        self._times: List[int] = []
+        #: FIFO batch of events per pending timestamp.
+        self._buckets: Dict[int, List[Event]] = {}
         self._active_process: Optional[Process] = None
         #: Number of events processed since construction.
         self.events_processed: int = 0
         #: Wall-clock seconds spent inside :meth:`run`.
         self.wall_seconds: float = 0.0
         self._stopped = False
+        self._timeout_pool: List[_PooledTimeout] = []
 
     # ------------------------------------------------------------------
     # Time and introspection
@@ -49,7 +85,7 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the calendar is empty."""
-        return self._queue[0][0] if self._queue else None
+        return self._times[0] if self._times else None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -57,8 +93,28 @@ class Simulator:
     def _schedule_event(self, event: Event, delay: int = 0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        when = self._now + delay
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [event]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(event)
+
+    def _pooled_timeout(self, delay: int, value: Any = None) -> Timeout:
+        """A :class:`Timeout` from the free list (kernel-internal only)."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"timeout delay must be >= 0, got {delay}")
+            timer = pool.pop()
+            timer.callbacks = []
+            timer._ok = True
+            timer._value = value
+            timer.delay = delay
+            self._schedule_event(timer, delay)
+            return timer
+        return _PooledTimeout(self, delay, value)
 
     def event(self, name: str = "") -> Event:
         """Create a fresh untriggered event."""
@@ -82,13 +138,16 @@ class Simulator:
 
     def call_at(self, when: int, callback: Callable[[], None]) -> None:
         """Run ``callback()`` at absolute sim time ``when`` (>= now)."""
-        timer = Timeout(self, when - self._now)
-        timer.add_callback(lambda _ev: callback())
+        if when < self._now:
+            raise SimulationError(
+                f"call_at(when={when}) is in the past (now={self._now})")
+        timer = self._pooled_timeout(when - self._now)
+        timer.callbacks.append(lambda _ev: callback())
 
     def call_after(self, delay: int, callback: Callable[[], None]) -> None:
         """Run ``callback()`` after ``delay`` picoseconds."""
-        timer = Timeout(self, delay)
-        timer.add_callback(lambda _ev: callback())
+        timer = self._pooled_timeout(delay)
+        timer.callbacks.append(lambda _ev: callback())
 
     # ------------------------------------------------------------------
     # Execution
@@ -107,11 +166,16 @@ class Simulator:
           that time are still processed);
         * an :class:`Event` — run until that event has been processed, then
           return its value (re-raising its exception if it failed).
+
+        ``bool`` is rejected explicitly: ``run(until=True)`` would otherwise
+        silently parse as ``run(until=1)``.
         """
         stop_time: Optional[int] = None
         stop_event: Optional[Event] = None
         if isinstance(until, Event):
             stop_event = until
+        elif isinstance(until, bool):
+            raise TypeError(f"until must be None, int or Event, got {until!r}")
         elif isinstance(until, int):
             stop_time = until
             if stop_time < self._now:
@@ -122,23 +186,57 @@ class Simulator:
 
         self._stopped = False
         started = _wall_time.perf_counter()
+        processed = 0
+        # Hot-attribute locals: the loop below runs once per event batch and
+        # once per event; every dotted lookup it avoids is measurable.
+        times = self._times
+        buckets = self._buckets
+        pop_time = heapq.heappop
+        push_time = heapq.heappush
+        pool = self._timeout_pool
+        pooled_class = _PooledTimeout
+        pool_cap = _TIMEOUT_POOL_CAP
         try:
-            queue = self._queue
-            while queue and not self._stopped:
-                when = queue[0][0]
+            while times and not self._stopped:
+                when = times[0]
                 if stop_time is not None and when > stop_time:
                     self._now = stop_time
                     break
-                __, __, event = heapq.heappop(queue)
+                pop_time(times)
                 self._now = when
-                self.events_processed += 1
-                event._process()
-                if stop_event is not None and stop_event.processed:
+                batch = buckets[when]
+                index = 0
+                # Drain the whole same-time batch in FIFO order.  Events
+                # scheduled at `now` during the drain append to this same
+                # list, so `len(batch)` is re-read every iteration.
+                while index < len(batch):
+                    event = batch[index]
+                    index += 1
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    if event.__class__ is pooled_class and len(pool) < pool_cap:
+                        pool.append(event)
+                    if self._stopped or (stop_event is not None
+                                         and stop_event.callbacks is None):
+                        break
+                if index < len(batch):
+                    # Interrupted mid-batch: keep the unprocessed tail
+                    # scheduled so a later run() resumes exactly here.
+                    buckets[when] = batch[index:]
+                    push_time(times, when)
+                    break
+                del buckets[when]
+                if stop_event is not None and stop_event.callbacks is None:
                     break
             else:
                 if stop_time is not None and not self._stopped:
                     self._now = max(self._now, stop_time)
         finally:
+            self.events_processed += processed
             self.wall_seconds += _wall_time.perf_counter() - started
 
         if stop_event is not None:

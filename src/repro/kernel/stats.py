@@ -8,6 +8,7 @@ accumulators are deliberately allocation-free on the hot path.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -78,13 +79,22 @@ class Histogram:
     def add(self, sample: float) -> None:
         index = int(sample // self.bin_width)
         if index >= self.max_bins:
+            # Out-of-range samples are counted but kept out of the bins:
+            # folding them into the last bin would fabricate a CDF tail at
+            # `max_bins * bin_width` no matter how far out they really are.
             self.overflow += 1
-            index = self.max_bins - 1
+            self.count += 1
+            return
         self.bins[index] = self.bins.get(index, 0) + 1
         self.count += 1
 
     def percentile(self, fraction: float) -> float:
-        """Return the upper edge of the bin containing the given quantile."""
+        """Return the upper edge of the bin containing the given quantile.
+
+        Quantiles that fall inside the overflow region (samples beyond
+        ``max_bins * bin_width``) return ``math.inf``: the histogram knows
+        the tail exists but not where it ends.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if self.count == 0:
@@ -95,18 +105,29 @@ class Histogram:
             seen += self.bins[index]
             if seen >= target:
                 return (index + 1) * self.bin_width
+        if self.overflow:
+            return math.inf
         return (max(self.bins) + 1) * self.bin_width
 
 
 class UtilizationTracker:
-    """Time-weighted busy/idle tracker for a single unit."""
+    """Time-weighted busy/idle tracker for a single unit.
 
-    __slots__ = ("sim", "_busy_since", "_accum")
+    Completed busy segments are kept as two parallel arrays — segment end
+    times and the cumulative busy total after each segment — so windowed
+    queries (``utilization(since=...)``) can subtract the busy time that
+    fell *before* the window instead of counting it against the window.
+    The hot path (``set_busy``/``set_idle``) stays append-only.
+    """
+
+    __slots__ = ("sim", "_busy_since", "_accum", "_ends", "_cum")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self._busy_since: Optional[int] = None
         self._accum = 0
+        self._ends: List[int] = []
+        self._cum: List[int] = []
 
     def set_busy(self) -> None:
         if self._busy_since is None:
@@ -114,20 +135,47 @@ class UtilizationTracker:
 
     def set_idle(self) -> None:
         if self._busy_since is not None:
-            self._accum += self.sim.now - self._busy_since
+            span = self.sim.now - self._busy_since
             self._busy_since = None
+            if span:
+                self._accum += span
+                self._ends.append(self.sim.now)
+                self._cum.append(self._accum)
 
-    def busy_time(self) -> int:
+    def _busy_before(self, when: int) -> int:
+        """Busy time accumulated strictly before sim time ``when``."""
+        index = bisect_right(self._ends, when)
+        busy = self._cum[index - 1] if index else 0
+        if index < len(self._ends):
+            # The next segment may straddle `when`.
+            segment = self._cum[index] - busy
+            start = self._ends[index] - segment
+            if start < when:
+                busy += when - start
+        if self._busy_since is not None and self._busy_since < when:
+            busy += when - self._busy_since
+        return busy
+
+    def busy_time(self, since: int = 0) -> int:
+        """Total busy time within ``[since, now]``."""
         accum = self._accum
         if self._busy_since is not None:
             accum += self.sim.now - self._busy_since
-        return accum
+        if since <= 0:
+            return accum
+        return accum - self._busy_before(since)
 
     def utilization(self, since: int = 0) -> float:
+        """Busy fraction of the window from ``since`` to now.
+
+        Only busy time that falls inside the window counts, so a unit that
+        was saturated before ``since`` and idle after reports 0.0 — not the
+        clamped carry-over the pre-fix implementation produced.
+        """
         elapsed = self.sim.now - since
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_time() / elapsed)
+        return self.busy_time(since) / elapsed
 
 
 class ThroughputMeter:
@@ -150,6 +198,21 @@ class ThroughputMeter:
         self.bytes_total += nbytes
         self.ops += 1
 
+    def _default_window(self) -> Optional[int]:
+        """Window from time zero to the last sample (idle tail excluded).
+
+        ``last_ps`` is compared against ``None`` explicitly: a sample
+        recorded at t=0 is a legitimate observation, not "no window" (the
+        old ``last_ps or 0`` conflated the two and reported 0.0 throughput
+        despite recorded bytes).  When every sample landed at t=0 the
+        degenerate zero-width window falls back to the current sim time.
+        """
+        if self.last_ps is None:
+            return None
+        if self.last_ps == 0:
+            return self.sim.now
+        return self.last_ps
+
     def megabytes_per_second(self, window_ps: Optional[int] = None) -> float:
         """Throughput in MB/s (10^6 bytes, as the paper's figures use).
 
@@ -159,8 +222,8 @@ class ThroughputMeter:
         """
         if self.bytes_total == 0:
             return 0.0
-        window = window_ps if window_ps is not None else (self.last_ps or 0)
-        if window <= 0:
+        window = window_ps if window_ps is not None else self._default_window()
+        if window is None or window <= 0:
             return 0.0
         seconds = window / 1e12
         return self.bytes_total / 1e6 / seconds
@@ -169,8 +232,8 @@ class ThroughputMeter:
         """Operations per second over the same window."""
         if self.ops == 0:
             return 0.0
-        window = window_ps if window_ps is not None else (self.last_ps or 0)
-        if window <= 0:
+        window = window_ps if window_ps is not None else self._default_window()
+        if window is None or window <= 0:
             return 0.0
         return self.ops / (window / 1e12)
 

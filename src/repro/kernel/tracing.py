@@ -89,25 +89,47 @@ class _NullRecorder:
         return None
 
 
+#: Module-level fast flag: True iff a real recorder is installed.  Hot call
+#: sites guard with :func:`trace_enabled` *before* building their detail
+#: strings, so a disabled trace costs one function call and no formatting.
+enabled = False
+
 #: The process-global hook components write to.  Replace with a
 #: :class:`TraceRecorder` via :func:`enable_tracing` to capture events.
 active_recorder = _NullRecorder()
 
 
+def trace_enabled() -> bool:
+    """True when a recorder is installed.
+
+    The idiom for hot call sites::
+
+        if trace_enabled():
+            trace(sim.now, self.path(), "read", f"way{way} {address}")
+
+    The guard keeps ``path()`` walks and f-string formatting entirely off
+    the disabled path.
+    """
+    return enabled
+
+
 def enable_tracing(capacity: int = 10_000) -> TraceRecorder:
     """Install and return a fresh recorder as the global hook."""
-    global active_recorder
+    global active_recorder, enabled
     recorder = TraceRecorder(capacity)
     active_recorder = recorder
+    enabled = True
     return recorder
 
 
 def disable_tracing() -> None:
     """Restore the no-op hook."""
-    global active_recorder
+    global active_recorder, enabled
     active_recorder = _NullRecorder()
+    enabled = False
 
 
 def trace(time_ps: int, component: str, event: str, detail: str = "") -> None:
     """Write to whatever hook is active (no-op when tracing is off)."""
-    active_recorder.record(time_ps, component, event, detail)
+    if enabled:
+        active_recorder.record(time_ps, component, event, detail)

@@ -31,7 +31,7 @@ from ..dram import BufferManager
 from ..host import HostInterface, IoCommand, IoOpcode
 from ..interconnect import AhbBus
 from ..kernel import Component, Resource, Simulator
-from ..kernel.tracing import trace
+from ..kernel.tracing import trace, trace_enabled
 from ..nand.geometry import PageAddress
 from .architecture import CachePolicy, CpuMode, SsdArchitecture
 
@@ -417,7 +417,8 @@ class SsdDevice(Component):
 
     # ------------------------------------------------------------------
     def _complete(self, command: IoCommand, count_bytes: bool = True) -> None:
-        trace(self.sim.now, self.path(), "complete", str(command))
+        if trace_enabled():
+            trace(self.sim.now, self.path(), "complete", str(command))
         command.complete_time_ps = self.sim.now
         self.commands_completed += 1
         if count_bytes:

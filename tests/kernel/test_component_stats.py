@@ -1,5 +1,7 @@
 """Tests for the component hierarchy and statistics accumulators."""
 
+import math
+
 import pytest
 
 from repro.kernel import Component, Simulator
@@ -95,11 +97,13 @@ class TestHistogram:
         assert hist.percentile(0.5) == pytest.approx(50)
         assert hist.percentile(1.0) == pytest.approx(100)
 
-    def test_overflow_clamps(self):
+    def test_overflow_kept_out_of_bins(self):
         hist = Histogram(bin_width=1, max_bins=10)
         hist.add(1e9)
         assert hist.overflow == 1
-        assert hist.percentile(1.0) == 10
+        assert hist.count == 1
+        assert hist.bins == {}
+        assert hist.percentile(1.0) == math.inf
 
     def test_empty(self):
         assert Histogram(1).percentile(0.99) == 0.0

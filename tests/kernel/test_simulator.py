@@ -337,5 +337,5 @@ class TestCallbackScheduling:
     def test_call_at_past_raises(self, sim):
         sim.timeout(100)
         sim.run()
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError, match=r"when=50.*now=100"):
             sim.call_at(50, lambda: None)
