@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench
+.PHONY: test test-fast bench sweep
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -14,3 +14,9 @@ test-fast:
 # Kernel speed benchmark; refreshes BENCH_kernel_speed.json at the repo root.
 bench:
 	$(PYTHON) benchmarks/bench_kernel_speed.py
+
+# Sweep-engine benchmark: serial vs parallel vs warm-cache Fig. 3 sweep;
+# refreshes BENCH_sweep.json at the repo root.  Knobs:
+# REPRO_BENCH_COMMANDS (workload length), REPRO_SWEEP_WORKERS (width).
+sweep:
+	$(PYTHON) benchmarks/bench_sweep.py

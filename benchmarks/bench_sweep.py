@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Sweep-engine benchmark: serial vs parallel vs warm-cache Fig. 3 sweep.
+
+Runs the Fig. 3 Table II sweep three ways —
+
+* serial  (``workers=1``, cold cache),
+* parallel (``workers=os.cpu_count()``, cold cache),
+* warm cache (any worker count; every point should hit the cache and
+  simulate 0 points)
+
+— verifies that all three produce identical rows, and writes the wall
+clocks to ``BENCH_sweep.json`` at the repo root so the scaling trajectory
+accumulates across PRs.
+
+Knobs: ``REPRO_BENCH_COMMANDS`` (workload length, default 800),
+``REPRO_SWEEP_WORKERS`` (parallel width, default all cores).
+
+Usage::
+
+    make sweep                                 # or:
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+"""
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import SweepRunner, fig3_sweep  # noqa: E402
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_sweep.json")
+
+
+def timed_sweep(n_commands, runner):
+    started = time.perf_counter()
+    rows = fig3_sweep(n_commands=n_commands, runner=runner)
+    wall = time.perf_counter() - started
+    summary = runner.last_summary
+    return rows, {
+        "wall_seconds": round(wall, 3),
+        "points": summary.total,
+        "cached": summary.cached,
+        "simulated": summary.simulated,
+        "events_per_sec": round(summary.events_per_sec),
+        "workers": summary.workers,
+    }
+
+
+def main() -> int:
+    n_commands = int(os.environ.get("REPRO_BENCH_COMMANDS", "800"))
+    parallel_workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "0")) \
+        or (os.cpu_count() or 1)
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as cache_dir:
+        print(f"Fig. 3 sweep, {n_commands} commands, 10 configurations")
+
+        serial_rows, serial = timed_sweep(
+            n_commands, SweepRunner(workers=1))
+        print(f"serial   : {serial['wall_seconds']:8.2f}s  "
+              f"({serial['events_per_sec'] / 1e3:.0f}k events/s)")
+
+        parallel_rows, parallel = timed_sweep(
+            n_commands, SweepRunner(workers=parallel_workers,
+                                    cache_dir=cache_dir))
+        print(f"parallel : {parallel['wall_seconds']:8.2f}s  "
+              f"({parallel['workers']} workers)")
+
+        warm_rows, warm = timed_sweep(
+            n_commands, SweepRunner(workers=parallel_workers,
+                                    cache_dir=cache_dir))
+        print(f"warm     : {warm['wall_seconds']:8.2f}s  "
+              f"({warm['cached']} cached, {warm['simulated']} simulated)")
+
+    if not (serial_rows == parallel_rows == warm_rows):
+        raise SystemExit("determinism violation: sweep modes disagree")
+    if warm["simulated"] != 0:
+        raise SystemExit("cache failure: warm re-run simulated points")
+    speedup = serial["wall_seconds"] / parallel["wall_seconds"] \
+        if parallel["wall_seconds"] else 0.0
+    print(f"speedup  : {speedup:.2f}x parallel over serial "
+          f"on {os.cpu_count()} core(s); warm-cache re-run simulated 0")
+
+    report = {
+        "config": {
+            "n_commands": n_commands,
+            "n_points": serial["points"],
+            "parallel_workers": parallel_workers,
+        },
+        "serial": serial,
+        "parallel": parallel,
+        "warm_cache": warm,
+        "parallel_speedup": round(speedup, 2),
+        "platform": {
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

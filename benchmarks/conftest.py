@@ -17,6 +17,20 @@ def bench_commands(default: int = 2000) -> int:
     return int(os.environ.get("REPRO_BENCH_COMMANDS", default))
 
 
+def bench_runner():
+    """SweepRunner for the figure sweeps, configured by the environment:
+
+    ``REPRO_SWEEP_WORKERS``   worker processes (default 1 = serial,
+                              0 = all cores),
+    ``REPRO_SWEEP_CACHE_DIR`` result-cache directory (default: no cache,
+                              every run simulates).
+    """
+    from repro.core import SweepRunner
+    workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+    cache_dir = os.environ.get("REPRO_SWEEP_CACHE_DIR") or None
+    return SweepRunner(workers=workers or None, cache_dir=cache_dir)
+
+
 @pytest.fixture(scope="session")
 def n_commands():
     return bench_commands()

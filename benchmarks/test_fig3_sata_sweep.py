@@ -14,7 +14,7 @@ import pytest
 from repro.core import (ResourceCostModel, fig3_sweep,
                         render_breakdown_table, table2_configs)
 
-from conftest import bench_commands
+from conftest import bench_commands, bench_runner
 
 
 pytestmark = pytest.mark.slow
@@ -22,7 +22,8 @@ pytestmark = pytest.mark.slow
 
 def test_fig3_sequential_write_sata(benchmark):
     rows = benchmark.pedantic(fig3_sweep,
-                              kwargs={"n_commands": bench_commands()},
+                              kwargs={"n_commands": bench_commands(),
+                                      "runner": bench_runner()},
                               rounds=1, iterations=1)
     print("\n=== Fig. 3: Sequential Write, SATA II host interface (MB/s) ===")
     print(render_breakdown_table(rows))

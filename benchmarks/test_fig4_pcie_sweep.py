@@ -15,7 +15,7 @@ import pytest
 from repro.core import (ResourceCostModel, fig4_sweep,
                         render_breakdown_table, table2_configs)
 
-from conftest import bench_commands
+from conftest import bench_commands, bench_runner
 
 
 pytestmark = pytest.mark.slow
@@ -23,7 +23,8 @@ pytestmark = pytest.mark.slow
 
 def test_fig4_sequential_write_pcie_nvme(benchmark):
     rows = benchmark.pedantic(fig4_sweep,
-                              kwargs={"n_commands": bench_commands()},
+                              kwargs={"n_commands": bench_commands(),
+                                      "runner": bench_runner()},
                               rounds=1, iterations=1)
     print("\n=== Fig. 4: Sequential Write, PCIe Gen2 x8 + NVMe (MB/s) ===")
     print(render_breakdown_table(rows))

@@ -15,7 +15,7 @@ import os
 
 from repro.core import fig5_wearout_sweep, render_series_table
 
-from conftest import bench_commands
+from conftest import bench_commands, bench_runner
 
 
 pytestmark = pytest.mark.slow
@@ -26,7 +26,8 @@ def test_fig5_performance_over_wearout(benchmark):
     n = max(300, bench_commands() // 5)
     series = benchmark.pedantic(
         fig5_wearout_sweep,
-        kwargs={"fractions": fractions, "n_commands": n},
+        kwargs={"fractions": fractions, "n_commands": n,
+                "runner": bench_runner()},
         rounds=1, iterations=1)
     print("\n=== Fig. 5: Throughput vs normalized rated endurance (MB/s) ===")
     print(render_series_table(series))

@@ -19,20 +19,21 @@ figures report.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-from .core import (DesignSpaceExplorer, ResourceCostModel, TABLE2_LABELS,
-                   fig3_sweep, fig4_sweep, fig5_wearout_sweep,
-                   kernel_speed_report, render_breakdown_table,
-                   render_report, render_series_table,
-                   render_speed_table, render_table,
+from .core import (DesignSpaceExplorer, ResourceCostModel, SweepPoint,
+                   SweepRunner, TABLE2_LABELS, fig3_sweep, fig4_sweep,
+                   fig5_wearout_sweep, kernel_speed_report, print_progress,
+                   render_breakdown_table, render_report,
+                   render_series_table, render_speed_table, render_table,
                    render_validation_table, run_validation, speed_sweep,
                    table2_configs, table3_configs,
                    verify_ssdexplorer_column, write_report)
 from .host.workload import IOZONE_SUITE
 from .kernel import load_file
-from .ssd import SsdArchitecture, from_config, measure
+from .ssd import SsdArchitecture, from_config
 
 
 def _parse_configs(text: Optional[str]) -> List[str]:
@@ -44,6 +45,47 @@ def _parse_configs(text: Optional[str]) -> List[str]:
         raise SystemExit(f"unknown configurations: {unknown}; "
                          f"choose from {sorted(TABLE2_LABELS)}")
     return names
+
+
+def add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """The sweep-engine flags shared by every fan-out subcommand."""
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = all cores, 1 = serial)")
+    parser.add_argument("--cache-dir", type=str, default="",
+                        help="result cache directory (also honors "
+                             "REPRO_SWEEP_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore cached results, re-simulate every "
+                             "point")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue a killed sweep from its cached "
+                             "partial results (requires a cache dir)")
+
+
+def runner_from_args(args: argparse.Namespace,
+                     quiet: bool = False) -> SweepRunner:
+    """Build the SweepRunner an argparse namespace describes."""
+    cache_dir = (getattr(args, "cache_dir", "")
+                 or os.environ.get("REPRO_SWEEP_CACHE_DIR", "")) or None
+    no_cache = getattr(args, "no_cache", False)
+    resume = getattr(args, "resume", False)
+    if resume and no_cache:
+        raise SystemExit("--resume and --no-cache are contradictory: "
+                         "resuming replays cached partial results")
+    if resume and cache_dir is None:
+        raise SystemExit("--resume needs --cache-dir (or "
+                         "REPRO_SWEEP_CACHE_DIR) pointing at the "
+                         "interrupted sweep's cache")
+    workers = getattr(args, "workers", 1) or None   # 0 -> all cores
+    return SweepRunner(workers=workers,
+                       cache_dir=None if no_cache else cache_dir,
+                       use_cache=not no_cache,
+                       progress=None if quiet else print_progress)
+
+
+def _print_summary(runner: SweepRunner) -> None:
+    if runner.last_summary is not None:
+        print(runner.last_summary.format())
 
 
 def cmd_features(args: argparse.Namespace) -> int:
@@ -65,24 +107,30 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_fig3(args: argparse.Namespace) -> int:
+    runner = runner_from_args(args)
     rows = fig3_sweep(n_commands=args.commands,
-                      configs=_parse_configs(args.configs))
+                      configs=_parse_configs(args.configs), runner=runner)
     print(render_breakdown_table(rows))
+    _print_summary(runner)
     return 0
 
 
 def cmd_fig4(args: argparse.Namespace) -> int:
+    runner = runner_from_args(args)
     rows = fig4_sweep(n_commands=args.commands,
-                      configs=_parse_configs(args.configs))
+                      configs=_parse_configs(args.configs), runner=runner)
     print(render_breakdown_table(rows))
+    _print_summary(runner)
     return 0
 
 
 def cmd_fig5(args: argparse.Namespace) -> int:
+    runner = runner_from_args(args)
     fractions = [i / args.steps for i in range(args.steps + 1)]
     series = fig5_wearout_sweep(fractions=fractions,
-                                n_commands=args.commands)
+                                n_commands=args.commands, runner=runner)
     print(render_series_table(series))
+    _print_summary(runner)
     return 0
 
 
@@ -112,26 +160,35 @@ def cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown workload {args.workload!r}; "
                          f"choose from {sorted(IOZONE_SUITE)}")
     workload = factory(4096 * args.commands, block_bytes=args.block)
-    result = measure(arch, workload, warm_start=args.warm)
+    runner = runner_from_args(args, quiet=True)
+    label = f"{arch.label}/{args.workload.upper()}"
+    outcome = runner.run([SweepPoint(
+        name=label, arch=arch, workload=workload, evaluator="measure",
+        params={"warm_start": args.warm, "label": label})]).outcomes[0]
+    payload = outcome.payload
     if args.json:
         import json
-        payload = result.to_dict()
+        payload = dict(payload)
         payload["architecture"] = arch.label
         payload["host"] = arch.host.name
+        payload["cached"] = outcome.cached
         print(json.dumps(payload, indent=2))
         return 0
+    latency = payload["latency_us"]
     print(f"architecture : {arch.label}")
     print(f"host         : {arch.host.name}")
     print(f"workload     : {args.workload.upper()} x {args.commands} "
           f"({args.block} B blocks)")
-    print(f"throughput   : {result.sustained_mbps:.1f} MB/s sustained "
-          f"({result.throughput_mbps:.1f} full-span)")
-    print(f"IOPS         : {result.iops:.0f}")
-    print(f"latency      : mean {result.mean_latency_us:.1f} us, "
-          f"p50 {result.p50_latency_us:.1f}, p95 {result.p95_latency_us:.1f}, "
-          f"p99 {result.p99_latency_us:.1f}")
-    for name, value in result.utilizations.items():
+    print(f"throughput   : {payload['sustained_mbps']:.1f} MB/s sustained "
+          f"({payload['throughput_mbps']:.1f} full-span)")
+    print(f"IOPS         : {payload['iops']:.0f}")
+    print(f"latency      : mean {latency['mean']:.1f} us, "
+          f"p50 {latency['p50']:.1f}, p95 {latency['p95']:.1f}, "
+          f"p99 {latency['p99']:.1f}")
+    for name, value in payload["utilizations"].items():
         print(f"utilization  : {name:<10} {value:6.1%}")
+    if outcome.cached:
+        print("(result served from the sweep cache)")
     return 0
 
 
@@ -156,8 +213,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
                   if name in names}
     explorer = DesignSpaceExplorer(cost_model=ResourceCostModel(),
                                    max_commands=args.commands)
-    result = explorer.explore(candidates, sequential_write(4096 *
-                                                           args.commands))
+    runner = runner_from_args(args)
+    result = explorer.explore(candidates,
+                              sequential_write(4096 * args.commands),
+                              runner=runner)
     print(render_breakdown_table({p.name: p.row for p in result.points}))
     print()
     print(f"target: {result.target_mbps:.1f} MB/s")
@@ -172,6 +231,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         fallback = result.cheapest_within()
         print("no point meets the target; cheapest near-best: "
               f"{fallback.name}")
+    _print_summary(runner)
     return 0
 
 
@@ -195,11 +255,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--commands", type=int, default=2000)
         p.add_argument("--configs", type=str, default="",
                        help="comma-separated subset of C1..C10")
+        add_sweep_options(p)
         p.set_defaults(func=func)
 
     fig5 = sub.add_parser("fig5", help="Fig. 5 wear-out sweep")
     fig5.add_argument("--commands", type=int, default=400)
     fig5.add_argument("--steps", type=int, default=10)
+    add_sweep_options(fig5)
     fig5.set_defaults(func=cmd_fig5)
 
     fig6 = sub.add_parser("fig6", help="Fig. 6 simulation speed")
@@ -225,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="warm-start the write cache")
     run.add_argument("--json", action="store_true",
                      help="emit the result as JSON")
+    add_sweep_options(run)
     run.set_defaults(func=cmd_run)
 
     report = sub.add_parser("report", help="run everything, emit markdown")
@@ -237,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore = sub.add_parser("explore", help="design-space exploration")
     explore.add_argument("--configs", type=str, default="")
     explore.add_argument("--commands", type=int, default=1000)
+    add_sweep_options(explore)
     explore.set_defaults(func=cmd_explore)
 
     return parser

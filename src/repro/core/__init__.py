@@ -23,13 +23,19 @@ from .report import (render_breakdown_table, render_series_table,
 from .sensitivity import (SensitivityCurve, SensitivityPoint,
                           bottleneck_report, render_sensitivity_table,
                           sweep_parameter)
+from .sweep import (CODE_VERSION, PointOutcome, SweepCache, SweepPoint,
+                    SweepResult, SweepRunner, SweepSummary, fingerprint,
+                    print_progress)
 from .speed import (PLATFORM_CLOCK_HZ, SpeedSample, measure_speed,
                     speed_sweep)
 from .validation import (PAPER_ERROR_MARGINS, REFERENCE_MBPS,
                          ValidationPoint, run_validation)
 
 __all__ = [
-    "CAPABILITY_CHECKS", "DesignPoint", "DesignSpaceExplorer",
+    "CAPABILITY_CHECKS", "CODE_VERSION", "DesignPoint",
+    "DesignSpaceExplorer", "PointOutcome", "SweepCache", "SweepPoint",
+    "SweepResult", "SweepRunner", "SweepSummary", "fingerprint",
+    "print_progress",
     "ExplorationResult", "FEATURE_MATRIX", "PAPER_ERROR_MARGINS",
     "PLATFORMS", "PLATFORM_CLOCK_HZ", "REFERENCE_MBPS",
     "ResourceCostModel", "SIMULATION_SPEED", "SensitivityCurve",

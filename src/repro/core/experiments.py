@@ -18,7 +18,8 @@ from ..ecc import AdaptiveBch, FixedBch
 from ..host.interface import pcie_nvme_spec, sata2_spec
 from ..host.workload import (Workload, sequential_read, sequential_write)
 from ..ssd.architecture import SsdArchitecture, parse_geometry_label
-from ..ssd.scenarios import BreakdownRow, breakdown, measure
+from ..ssd.scenarios import BreakdownRow
+from .sweep import SweepPoint, SweepRunner
 
 #: Table II of the paper: "SSD CONFIGURATIONS" for Fig. 3 and Fig. 4.
 TABLE2_LABELS: Dict[str, str] = {
@@ -72,32 +73,39 @@ def fig3_workload(n_commands: int = 2000) -> Workload:
     return sequential_write(4096 * n_commands)
 
 
-def fig3_sweep(n_commands: int = 2000,
-               configs: Optional[List[str]] = None
-               ) -> Dict[str, BreakdownRow]:
-    """Fig. 3: sequential write over Table II with the SATA II interface."""
-    base = SsdArchitecture(host=sata2_spec())
+def _breakdown_sweep(base: SsdArchitecture, n_commands: int,
+                     configs: Optional[List[str]],
+                     runner: Optional[SweepRunner]
+                     ) -> Dict[str, BreakdownRow]:
+    """Fan a Table II study out through the sweep engine."""
     workload = fig3_workload(n_commands)
     selected = configs or list(TABLE2_LABELS)
-    rows = {}
-    for name, arch in table2_configs(base).items():
-        if name in selected:
-            rows[name] = breakdown(arch, workload)
-    return rows
+    items = [(name, arch) for name, arch in table2_configs(base).items()
+             if name in selected]
+    runner = runner or SweepRunner(workers=1)
+    result = runner.run([SweepPoint(name=name, arch=arch, workload=workload)
+                         for name, arch in items])
+    return {outcome.name: BreakdownRow.from_dict(outcome.payload)
+            for outcome in result.outcomes}
+
+
+def fig3_sweep(n_commands: int = 2000,
+               configs: Optional[List[str]] = None,
+               runner: Optional[SweepRunner] = None
+               ) -> Dict[str, BreakdownRow]:
+    """Fig. 3: sequential write over Table II with the SATA II interface."""
+    return _breakdown_sweep(SsdArchitecture(host=sata2_spec()),
+                            n_commands, configs, runner)
 
 
 def fig4_sweep(n_commands: int = 2000,
-               configs: Optional[List[str]] = None
+               configs: Optional[List[str]] = None,
+               runner: Optional[SweepRunner] = None
                ) -> Dict[str, BreakdownRow]:
     """Fig. 4: the same study with PCIe Gen2 x8 + NVMe (64K commands)."""
-    base = SsdArchitecture(host=pcie_nvme_spec(generation=2, lanes=8))
-    workload = fig3_workload(n_commands)
-    selected = configs or list(TABLE2_LABELS)
-    rows = {}
-    for name, arch in table2_configs(base).items():
-        if name in selected:
-            rows[name] = breakdown(arch, workload)
-    return rows
+    return _breakdown_sweep(
+        SsdArchitecture(host=pcie_nvme_spec(generation=2, lanes=8)),
+        n_commands, configs, runner)
 
 
 #: Fig. 5 architecture: "both 4 channels 2 ways and 4 dies".
@@ -109,7 +117,8 @@ def fig5_architecture(ecc, normalized_endurance: float) -> SsdArchitecture:
 
 
 def fig5_wearout_sweep(fractions: Optional[List[float]] = None,
-                       n_commands: int = 400
+                       n_commands: int = 400,
+                       runner: Optional[SweepRunner] = None
                        ) -> Dict[str, List[Tuple[float, float]]]:
     """Fig. 5: throughput vs normalized rated endurance.
 
@@ -124,18 +133,24 @@ def fig5_wearout_sweep(fractions: Optional[List[float]] = None,
     }
     read_wl = sequential_read(4096 * n_commands)
     write_wl = sequential_write(4096 * n_commands)
+    points: List[SweepPoint] = []
+    slots: List[Tuple[str, float]] = []
     for fraction in fractions:
         for scheme_name, ecc in (("fixed", FixedBch()),
                                  ("adaptive", AdaptiveBch())):
             arch = fig5_architecture(ecc, fraction)
-            read = measure(arch, read_wl,
-                           label=f"fig5/{scheme_name}/read/{fraction}")
-            write = measure(arch, write_wl, warm_start=True,
-                            label=f"fig5/{scheme_name}/write/{fraction}")
-            series[f"{scheme_name}-read"].append(
-                (fraction, read.sustained_mbps))
-            series[f"{scheme_name}-write"].append(
-                (fraction, write.sustained_mbps))
+            for kind, workload, warm in (("read", read_wl, False),
+                                         ("write", write_wl, True)):
+                label = f"fig5/{scheme_name}/{kind}/{fraction}"
+                points.append(SweepPoint(
+                    name=label, arch=arch, workload=workload,
+                    evaluator="measure",
+                    params={"warm_start": warm, "label": label}))
+                slots.append((f"{scheme_name}-{kind}", fraction))
+    runner = runner or SweepRunner(workers=1)
+    outcomes = runner.run(points).outcomes
+    for (key, fraction), outcome in zip(slots, outcomes):
+        series[key].append((fraction, outcome.payload["sustained_mbps"]))
     return series
 
 

@@ -15,7 +15,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..host.workload import Workload
 from ..ssd.architecture import SsdArchitecture
-from ..ssd.scenarios import BreakdownRow, breakdown, host_ideal_mbps
+from ..ssd.scenarios import BreakdownRow
+from .sweep import SweepPoint, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,13 @@ class ResourceCostModel:
     channel_weight: float = 24.0
     way_weight: float = 2.0
     die_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("buffer_weight", "channel_weight", "way_weight",
+                     "die_weight"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0 (negative weights "
+                                 "invert the cost ordering)")
 
     def cost(self, arch: SsdArchitecture) -> float:
         """Total resource cost of an architecture."""
@@ -68,17 +76,22 @@ class ExplorationResult:
 
     @property
     def optimal(self) -> Optional[DesignPoint]:
-        """Cheapest design point that meets the target."""
+        """Cheapest design point that meets the target.
+
+        Ties on cost break by name so the answer is independent of the
+        order the points were evaluated in (a parallel sweep invariant).
+        """
         candidates = self.feasible
         if not candidates:
             return None
-        return min(candidates, key=lambda p: p.cost)
+        return min(candidates, key=lambda p: (p.cost, p.name))
 
     def best_effort(self) -> DesignPoint:
         """Highest-throughput point (for when nothing meets the target)."""
         if not self.points:
             raise ValueError("no points evaluated")
-        return max(self.points, key=lambda p: p.measured_mbps)
+        return min(self.points,
+                   key=lambda p: (-p.measured_mbps, p.cost, p.name))
 
     def cheapest_within(self, fraction: float = 0.95) -> DesignPoint:
         """Cheapest point whose throughput is within ``fraction`` of the
@@ -88,7 +101,7 @@ class ExplorationResult:
             raise ValueError("no points evaluated")
         best = max(p.measured_mbps for p in self.points)
         near = [p for p in self.points if p.measured_mbps >= fraction * best]
-        return min(near, key=lambda p: p.cost)
+        return min(near, key=lambda p: (p.cost, p.name))
 
     def pareto_frontier(self) -> List[DesignPoint]:
         """Non-dominated points in the (cost down, throughput up) plane.
@@ -100,7 +113,8 @@ class ExplorationResult:
         """
         frontier: List[DesignPoint] = []
         for candidate in sorted(self.points,
-                                key=lambda p: (p.cost, -p.measured_mbps)):
+                                key=lambda p: (p.cost, -p.measured_mbps,
+                                               p.name)):
             if not frontier:
                 frontier.append(candidate)
                 continue
@@ -122,6 +136,10 @@ def generate_design_space(channels: Sequence[int] = (2, 4, 8, 16),
     ``max_total_dies`` to keep sweeps tractable.  Keys are Table II style
     labels.
     """
+    for axis, values in (("channels", channels), ("ways", ways),
+                         ("dies", dies)):
+        if any(value < 1 for value in values):
+            raise ValueError(f"{axis} values must be >= 1, got {values}")
     base = base or SsdArchitecture()
     candidates: Dict[str, SsdArchitecture] = {}
     for n_channels in channels:
@@ -152,15 +170,30 @@ class DesignSpaceExplorer:
     def explore(self, candidates: Dict[str, SsdArchitecture],
                 workload: Workload,
                 target_mbps: Optional[float] = None,
-                target_fraction: float = 0.97) -> ExplorationResult:
+                target_fraction: float = 0.97,
+                runner: Optional[SweepRunner] = None) -> ExplorationResult:
         """Evaluate every candidate; default target = host-interface limit.
 
         ``target_fraction`` tolerates measurement granularity when testing
-        whether a point saturates the interface.
+        whether a point saturates the interface.  ``runner`` fans the
+        candidates out in parallel and/or through the result cache; the
+        default evaluates serially in process.
         """
+        items = list(candidates.items())
+        if not items:
+            return ExplorationResult(
+                target_mbps=target_mbps if target_mbps is not None else 0.0,
+                points=[])
+        runner = runner or SweepRunner(workers=1)
+        sweep_points = [
+            SweepPoint(name=name, arch=arch, workload=workload,
+                       evaluator="breakdown",
+                       params={"max_commands": self.max_commands})
+            for name, arch in items]
+        outcomes = runner.run(sweep_points).outcomes
         points: List[DesignPoint] = []
-        for name, arch in candidates.items():
-            row = breakdown(arch, workload, max_commands=self.max_commands)
+        for (name, arch), outcome in zip(items, outcomes):
+            row = BreakdownRow.from_dict(outcome.payload)
             measured = (row.ssd_cache_mbps if self.metric == "cache"
                         else row.ssd_no_cache_mbps)
             target = (target_mbps if target_mbps is not None
@@ -172,6 +205,5 @@ class DesignSpaceExplorer:
                 measured_mbps=measured,
             ))
         resolved_target = (target_mbps if target_mbps is not None
-                           else (points[0].row.host_ddr_mbps
-                                 if points else 0.0))
+                           else points[0].row.host_ddr_mbps)
         return ExplorationResult(target_mbps=resolved_target, points=points)

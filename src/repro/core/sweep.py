@@ -1,0 +1,384 @@
+"""Parallel design-space sweep engine with a content-addressed result cache.
+
+The paper's workflow is *fine-grained design space exploration*: many
+independent (architecture, workload) points evaluated against the same
+metrics.  Those evaluations share nothing at runtime, so
+:class:`SweepRunner` fans them out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (default width
+``os.cpu_count()``, serial in-process fallback for ``workers=1`` or when
+no pool can be created) and memoizes each point in an on-disk cache keyed
+by a stable content hash of the architecture + workload + evaluator
+parameters + a code-version salt.  Re-running a sweep therefore only
+simulates new or changed points, and because every finished point is
+flushed to the cache as it arrives, a killed sweep resumes where it left
+off.
+
+Determinism contract: a point's *payload* (the cacheable result) depends
+only on its fingerprint inputs — parallel and serial runs produce
+identical payloads, which the determinism test tier locks down.  Wall
+time and scheduling order are metadata, never part of a payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import multiprocessing
+import os
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from ..ssd.device import DataPathMode
+from ..ssd.scenarios import breakdown_with_events, measure
+
+#: Salt folded into every fingerprint.  Bump whenever a change alters the
+#: simulated numbers (timing models, scheduler fixes, metric definitions)
+#: so stale cache entries from older code are treated as misses.
+CODE_VERSION = "sweep-1"
+
+
+# ----------------------------------------------------------------------
+# Content fingerprinting
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce a model object to a JSON-safe canonical form.
+
+    Dataclasses carry their qualified type name so that two schemes with
+    identical fields (e.g. fixed vs adaptive BCH defaults) never collide;
+    enums reduce to type + value.  Unsupported types raise ``TypeError``
+    — the caller decides whether that makes the point uncacheable.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body = {f.name: canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+        return {"__dataclass__": type(obj).__qualname__, **body}
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__qualname__, "value": obj.value}
+    if isinstance(obj, (bool, int, float, str)) or obj is None:
+        return obj
+    if isinstance(obj, Mapping):
+        return {str(key): canonical(value)
+                for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    raise TypeError(f"cannot fingerprint object of type {type(obj).__name__}")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent evaluation: an architecture under a workload.
+
+    ``evaluator`` names a registered evaluation function; ``params`` are
+    its keyword knobs (both are part of the fingerprint, so a parameter
+    change is a cache miss).
+    """
+
+    name: str
+    arch: Any
+    workload: Any
+    evaluator: str = "breakdown"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+def fingerprint(point: SweepPoint, salt: str = CODE_VERSION) -> str:
+    """Stable content hash of everything that determines the payload."""
+    document = {
+        "salt": salt,
+        "evaluator": point.evaluator,
+        "params": canonical(dict(point.params)),
+        "arch": canonical(point.arch),
+        "workload": canonical(point.workload),
+    }
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _seed_for(point: SweepPoint, key: Optional[str]) -> int:
+    """Deterministic per-point RNG seed, identical serial or parallel."""
+    if key is not None:
+        return int(key[:16], 16)
+    digest = hashlib.sha256(point.name.encode("utf-8")).hexdigest()
+    return int(digest[:16], 16)
+
+
+# ----------------------------------------------------------------------
+# Evaluators — module-level so worker processes can import them.
+
+
+def _eval_breakdown(point: SweepPoint) -> Tuple[Dict[str, Any], int]:
+    row, events = breakdown_with_events(
+        point.arch, point.workload,
+        max_commands=point.params.get("max_commands"))
+    return dataclasses.asdict(row), events
+
+
+def _eval_measure(point: SweepPoint) -> Tuple[Dict[str, Any], int]:
+    params = dict(point.params)
+    mode = DataPathMode(params.get("mode", DataPathMode.FULL.value))
+    result = measure(point.arch, point.workload, mode=mode,
+                     max_commands=params.get("max_commands"),
+                     label=params.get("label", point.name),
+                     preload_reads=params.get("preload_reads", True),
+                     warm_start=params.get("warm_start", False))
+    payload = result.to_dict()
+    # Wall time is machine load, not simulation output; keep payloads
+    # deterministic so cached and fresh runs agree byte for byte.
+    payload["wall_seconds"] = 0.0
+    return payload, result.events
+
+
+EVALUATORS: Dict[str, Callable[[SweepPoint], Tuple[Dict[str, Any], int]]] = {
+    "breakdown": _eval_breakdown,
+    "measure": _eval_measure,
+}
+
+
+def _evaluate(point: SweepPoint, key: Optional[str],
+              salt: str) -> Dict[str, Any]:
+    """Run one point and wrap the result in a cache envelope."""
+    evaluator = EVALUATORS.get(point.evaluator)
+    if evaluator is None:
+        raise ValueError(f"unknown evaluator {point.evaluator!r}; "
+                         f"registered: {sorted(EVALUATORS)}")
+    random.seed(_seed_for(point, key))
+    started = time.perf_counter()
+    payload, events = evaluator(point)
+    return {
+        "salt": salt,
+        "name": point.name,
+        "evaluator": point.evaluator,
+        "payload": payload,
+        "events": int(events),
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
+# ----------------------------------------------------------------------
+# Result cache
+
+
+class SweepCache:
+    """Content-addressed JSON store: one file per evaluated point.
+
+    A corrupted, truncated or structurally wrong file is a miss, never an
+    error — the point is simply re-simulated and the entry rewritten.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(envelope, dict) \
+                or not isinstance(envelope.get("payload"), dict):
+            return None
+        return envelope
+
+    def store(self, key: str, envelope: Dict[str, Any]) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle, sort_keys=True)
+        os.replace(tmp, path)  # atomic: a killed sweep leaves no partials
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self.directory)
+                       if name.endswith(".json"))
+        except OSError:
+            return 0
+
+
+# ----------------------------------------------------------------------
+# Runner
+
+
+@dataclass
+class PointOutcome:
+    """One point's result plus provenance."""
+
+    name: str
+    payload: Dict[str, Any]
+    cached: bool
+    events: int
+    elapsed_s: float
+    key: Optional[str]
+
+
+@dataclass
+class SweepSummary:
+    """Aggregate accounting for one :meth:`SweepRunner.run` call."""
+
+    total: int
+    cached: int
+    simulated: int
+    wall_seconds: float
+    simulated_events: int
+    workers: int
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.simulated_events / self.wall_seconds
+
+    def format(self) -> str:
+        line = (f"sweep: {self.total} points "
+                f"({self.cached} cached, {self.simulated} simulated) "
+                f"in {self.wall_seconds:.2f}s")
+        if self.simulated:
+            line += (f" — {self.events_per_sec / 1e3:.0f}k events/s "
+                     f"across {self.workers} worker(s)")
+        return line
+
+
+@dataclass
+class SweepResult:
+    """Outcomes in input order + the sweep summary."""
+
+    outcomes: List[PointOutcome]
+    summary: SweepSummary
+
+    def payloads(self) -> Dict[str, Dict[str, Any]]:
+        return {outcome.name: outcome.payload for outcome in self.outcomes}
+
+
+class SweepRunner:
+    """Fans independent sweep points out over worker processes.
+
+    ``workers=None`` uses every core; ``workers=1`` runs serially in
+    process (no pool, no pickling).  With ``cache_dir`` set, finished
+    points are flushed to the cache as they complete and future runs skip
+    any point whose fingerprint already has an entry (disable reads with
+    ``use_cache=False`` to force re-simulation while still writing).
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache_dir: Optional[str] = None,
+                 use_cache: bool = True,
+                 salt: str = CODE_VERSION,
+                 progress: Optional[Callable[[PointOutcome, int, int],
+                                             None]] = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for all cores)")
+        self.workers = workers if workers is not None \
+            else (os.cpu_count() or 1)
+        self.cache = SweepCache(cache_dir) if cache_dir else None
+        self.use_cache = use_cache
+        self.salt = salt
+        self.progress = progress
+        self.last_summary: Optional[SweepSummary] = None
+
+    # ------------------------------------------------------------------
+    def run(self, points: Sequence[SweepPoint]) -> SweepResult:
+        points = list(points)
+        started = time.perf_counter()
+        outcomes: List[Optional[PointOutcome]] = [None] * len(points)
+        done = 0
+
+        keys: List[Optional[str]] = []
+        for point in points:
+            try:
+                keys.append(fingerprint(point, self.salt))
+            except TypeError:
+                keys.append(None)  # unhashable workload: run uncached
+
+        pending: List[int] = []
+        for index, (point, key) in enumerate(zip(points, keys)):
+            envelope = None
+            if self.cache is not None and self.use_cache and key is not None:
+                envelope = self.cache.load(key)
+            if envelope is not None:
+                outcomes[index] = PointOutcome(
+                    name=point.name, payload=envelope["payload"],
+                    cached=True, events=int(envelope.get("events", 0)),
+                    elapsed_s=0.0, key=key)
+                done += 1
+                self._emit(outcomes[index], done, len(points))
+            else:
+                pending.append(index)
+
+        def finish(index: int, envelope: Dict[str, Any]) -> None:
+            nonlocal done
+            if self.cache is not None and keys[index] is not None:
+                self.cache.store(keys[index], envelope)
+            outcomes[index] = PointOutcome(
+                name=points[index].name, payload=envelope["payload"],
+                cached=False, events=int(envelope["events"]),
+                elapsed_s=float(envelope["elapsed_s"]), key=keys[index])
+            done += 1
+            self._emit(outcomes[index], done, len(points))
+
+        workers = min(self.workers, max(1, len(pending)))
+        if pending:
+            if workers == 1 or len(pending) == 1:
+                for index in pending:
+                    finish(index, _evaluate(points[index], keys[index],
+                                            self.salt))
+            else:
+                self._run_pool(points, keys, pending, workers, finish)
+
+        wall = time.perf_counter() - started
+        simulated = [o for o in outcomes if o is not None and not o.cached]
+        summary = SweepSummary(
+            total=len(points),
+            cached=len(points) - len(pending),
+            simulated=len(simulated),
+            wall_seconds=wall,
+            simulated_events=sum(o.events for o in simulated),
+            workers=workers,
+        )
+        self.last_summary = summary
+        return SweepResult(outcomes=list(outcomes), summary=summary)
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, points: Sequence[SweepPoint],
+                  keys: Sequence[Optional[str]], pending: Sequence[int],
+                  workers: int, finish: Callable[[int, Dict[str, Any]],
+                                                 None]) -> None:
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=context)
+        except (OSError, ValueError, ImportError):
+            # Platforms without usable multiprocessing: serial fallback.
+            for index in pending:
+                finish(index, _evaluate(points[index], keys[index],
+                                        self.salt))
+            return
+        with pool:
+            futures = {pool.submit(_evaluate, points[index], keys[index],
+                                   self.salt): index
+                       for index in pending}
+            for future in as_completed(futures):
+                finish(futures[future], future.result())
+
+    def _emit(self, outcome: PointOutcome, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(outcome, done, total)
+
+
+def print_progress(outcome: PointOutcome, done: int, total: int) -> None:
+    """Default per-point progress line (the CLI's callback)."""
+    if outcome.cached:
+        status = "cached"
+    else:
+        status = f"simulated in {outcome.elapsed_s:6.2f}s"
+    print(f"[{done:>3}/{total}] {outcome.name:<24} {status}", flush=True)

@@ -70,10 +70,29 @@ class BreakdownRow:
             "HOST+DDR": self.host_ddr_mbps,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "BreakdownRow":
+        """Inverse of ``dataclasses.asdict`` — used by the sweep cache."""
+        return cls(label=str(payload["label"]),
+                   ddr_flash_mbps=float(payload["ddr_flash_mbps"]),
+                   ssd_cache_mbps=float(payload["ssd_cache_mbps"]),
+                   ssd_no_cache_mbps=float(payload["ssd_no_cache_mbps"]),
+                   host_ideal_mbps=float(payload["host_ideal_mbps"]),
+                   host_ddr_mbps=float(payload["host_ddr_mbps"]))
+
 
 def breakdown(arch: SsdArchitecture, workload: Workload,
               max_commands: Optional[int] = None) -> BreakdownRow:
-    """Measure all five bars for one architecture (Fig. 3/4 row).
+    """Measure all five bars for one architecture (Fig. 3/4 row)."""
+    row, __ = breakdown_with_events(arch, workload,
+                                    max_commands=max_commands)
+    return row
+
+
+def breakdown_with_events(arch: SsdArchitecture, workload: Workload,
+                          max_commands: Optional[int] = None
+                          ) -> "tuple[BreakdownRow, int]":
+    """The Fig. 3/4 row plus total kernel events across its four runs.
 
     The caching-policy run is *warm-started*: the DRAM write cache begins
     full with its flush backlog already queued, so the short trace
@@ -91,7 +110,7 @@ def breakdown(arch: SsdArchitecture, workload: Workload,
     host_ddr = measure(arch, workload, mode=DataPathMode.HOST_DDR,
                        max_commands=max_commands,
                        label=f"{arch.label}/host+ddr")
-    return BreakdownRow(
+    row = BreakdownRow(
         label=arch.label,
         # DDR+FLASH is a makespan measure (drain a batch into flash);
         # cache/no-cache bars are steady-state sustained figures.
@@ -101,3 +120,6 @@ def breakdown(arch: SsdArchitecture, workload: Workload,
         host_ideal_mbps=host_ideal_mbps(arch, workload.block_bytes),
         host_ddr_mbps=host_ddr.sustained_mbps,
     )
+    events = (ddr_flash.events + cache.events + no_cache.events
+              + host_ddr.events)
+    return row, events

@@ -94,6 +94,63 @@ class TestExplore:
                 or "cheapest near-best" in out)
 
 
+class TestSweepFlags:
+    def test_sweep_flags_parse_with_defaults(self):
+        for command in ("fig3", "fig4", "fig5", "explore", "run"):
+            args = build_parser().parse_args([command])
+            assert args.workers == 0          # 0 = all cores
+            assert args.cache_dir == ""
+            assert not args.no_cache
+            assert not args.resume
+
+    def test_explore_with_workers_and_cache(self, tmp_path, capsys):
+        argv = ["explore", "--configs", "C1", "--commands", "200",
+                "--workers", "1", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 simulated" in out
+        # Warm re-run: every point served from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 cached, 0 simulated" in out
+        assert "target" in out
+
+    def test_no_cache_forces_resimulation(self, tmp_path, capsys):
+        base = ["explore", "--configs", "C1", "--commands", "200",
+                "--workers", "1", "--cache-dir", str(tmp_path)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--no-cache"]) == 0
+        assert "1 simulated" in capsys.readouterr().out
+
+    def test_resume_conflicts(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--configs", "C1", "--commands", "50",
+                  "--resume"])                        # no cache dir
+        with pytest.raises(SystemExit):
+            main(["explore", "--configs", "C1", "--commands", "50",
+                  "--cache-dir", "/tmp/x", "--resume", "--no-cache"])
+
+    def test_resume_continues_partial_sweep(self, tmp_path, capsys):
+        # Seed the cache with C1 only, then "resume" a C1+C6 sweep: C1 is
+        # replayed, only C6 simulates.
+        assert main(["explore", "--configs", "C1", "--commands", "200",
+                     "--workers", "1", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["explore", "--configs", "C1,C6", "--commands", "200",
+                     "--workers", "1", "--cache-dir", str(tmp_path),
+                     "--resume"]) == 0
+        assert "1 cached, 1 simulated" in capsys.readouterr().out
+
+    def test_run_cached_result_is_flagged(self, tmp_path, capsys):
+        argv = ["run", "--workload", "SW", "--commands", "40",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "sweep cache" not in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "served from the sweep cache" in capsys.readouterr().out
+
+
 class TestJsonExport:
     def test_run_json(self, capsys):
         import json

@@ -116,3 +116,57 @@ class TestExplorerEndToEnd:
     def test_metric_validation(self):
         with pytest.raises(ValueError):
             DesignSpaceExplorer(metric="latency")
+
+
+class TestEdgeCases:
+    """Degenerate inputs surfaced by the sweep test tier."""
+
+    def test_empty_candidates_yield_wellformed_empty_result(self):
+        explorer = DesignSpaceExplorer(max_commands=10)
+        result = explorer.explore({}, sequential_write(4096 * 10))
+        assert result.points == []
+        assert result.target_mbps == 0.0
+        assert result.optimal is None
+        assert result.feasible == []
+        assert result.pareto_frontier() == []
+
+    def test_empty_candidates_keep_explicit_target(self):
+        explorer = DesignSpaceExplorer(max_commands=10)
+        result = explorer.explore({}, sequential_write(4096 * 10),
+                                  target_mbps=250.0)
+        assert result.target_mbps == 250.0
+        assert result.points == []
+
+    def test_single_point_space(self):
+        from repro.core import generate_design_space
+        space = generate_design_space(channels=(2,), ways=(2,), dies=(2,))
+        assert len(space) == 1
+        explorer = DesignSpaceExplorer(max_commands=60)
+        arch = next(iter(space.values()))
+        small = arch.scaled(geometry=SMALL_GEO, dram_refresh=False)
+        result = explorer.explore({"only": small},
+                                  sequential_write(4096 * 60))
+        assert len(result.points) == 1
+        assert [p.name for p in result.pareto_frontier()] == ["only"]
+        assert result.best_effort().name == "only"
+
+    def test_generate_design_space_empty_axes(self):
+        from repro.core import generate_design_space
+        assert generate_design_space(channels=()) == {}
+        assert generate_design_space(ways=()) == {}
+        assert generate_design_space(dies=()) == {}
+
+    def test_generate_design_space_rejects_nonpositive_values(self):
+        from repro.core import generate_design_space
+        with pytest.raises(ValueError):
+            generate_design_space(channels=(0, 2))
+        with pytest.raises(ValueError):
+            generate_design_space(ways=(-1,))
+        with pytest.raises(ValueError):
+            generate_design_space(dies=(0,))
+
+    def test_cost_model_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            ResourceCostModel(die_weight=-1.0)
+        with pytest.raises(ValueError):
+            ResourceCostModel(channel_weight=-0.5)

@@ -1,0 +1,150 @@
+"""Property tests for ExplorationResult's ranking math.
+
+Hand-rolled randomized generators (hypothesis-style, but dependency-free)
+— each trial is seeded and the seed is carried in every assertion message
+so a failure is reproducible with ``random.Random(seed)``.
+
+Invariants:
+
+* frontier points are mutually non-dominated;
+* every point off the frontier is dominated by (or ties) a frontier point;
+* ``pareto_frontier`` / ``optimal`` / ``cheapest_within`` / ``best_effort``
+  are invariant under permutation of the input points — the property that
+  makes parallel sweeps (whose completion order is nondeterministic) safe.
+"""
+
+import random
+
+import pytest
+
+from repro.core.explorer import DesignPoint, ExplorationResult
+from repro.ssd import SsdArchitecture
+from repro.ssd.scenarios import BreakdownRow
+
+N_TRIALS = 40
+TARGET = 100.0
+
+_ARCH = SsdArchitecture()
+
+
+def make_point(name, cost, measured):
+    row = BreakdownRow(label=name, ddr_flash_mbps=measured,
+                       ssd_cache_mbps=measured, ssd_no_cache_mbps=measured,
+                       host_ideal_mbps=TARGET, host_ddr_mbps=TARGET)
+    return DesignPoint(name=name, arch=_ARCH, row=row, cost=cost,
+                       meets_target=measured >= 0.97 * TARGET,
+                       measured_mbps=measured)
+
+
+def random_result(rng):
+    """1..20 points; costs/throughputs drawn from small grids so ties and
+    duplicates occur often (the adversarial cases)."""
+    n = rng.randint(1, 20)
+    points = [make_point(f"p{i}",
+                         cost=rng.choice([10, 20, 20, 30, 40, 55]),
+                         measured=rng.choice([25.0, 50.0, 50.0, 75.0,
+                                              100.0, 110.0]))
+              for i in range(n)]
+    return ExplorationResult(target_mbps=TARGET, points=points)
+
+
+def dominates(a, b):
+    """a at least as cheap and as fast as b, strictly better in one."""
+    return (a.cost <= b.cost and a.measured_mbps >= b.measured_mbps
+            and (a.cost < b.cost or a.measured_mbps > b.measured_mbps))
+
+
+def covers(a, b):
+    """a dominates b or matches it in both dimensions."""
+    return a.cost <= b.cost and a.measured_mbps >= b.measured_mbps
+
+
+class TestParetoProperties:
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_frontier_mutually_non_dominated(self, seed):
+        result = random_result(random.Random(seed))
+        frontier = result.pareto_frontier()
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not dominates(a, b), \
+                        (f"seed={seed}: frontier point {a.name} dominates "
+                         f"frontier point {b.name}")
+
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_excluded_points_are_covered(self, seed):
+        result = random_result(random.Random(seed))
+        frontier = result.pareto_frontier()
+        frontier_ids = {id(p) for p in frontier}
+        for point in result.points:
+            if id(point) in frontier_ids:
+                continue
+            assert any(covers(f, point) for f in frontier), \
+                (f"seed={seed}: excluded point {point.name} "
+                 f"(cost {point.cost}, {point.measured_mbps} MB/s) is not "
+                 f"covered by any frontier point")
+
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_frontier_sorted_and_strictly_improving(self, seed):
+        result = random_result(random.Random(seed))
+        frontier = result.pareto_frontier()
+        costs = [p.cost for p in frontier]
+        speeds = [p.measured_mbps for p in frontier]
+        assert costs == sorted(costs), f"seed={seed}"
+        assert all(a < b for a, b in zip(speeds, speeds[1:])), \
+            f"seed={seed}: frontier throughput not strictly increasing"
+
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_permutation_invariance(self, seed):
+        rng = random.Random(seed)
+        result = random_result(rng)
+        frontier = [p.name for p in result.pareto_frontier()]
+        optimal = result.optimal.name if result.optimal else None
+        cheapest = result.cheapest_within(fraction=0.9).name
+        best = result.best_effort().name
+        for trial in range(3):
+            shuffled = list(result.points)
+            rng.shuffle(shuffled)
+            permuted = ExplorationResult(target_mbps=TARGET, points=shuffled)
+            message = f"seed={seed} shuffle={trial}"
+            assert [p.name for p in permuted.pareto_frontier()] \
+                == frontier, message
+            assert (permuted.optimal.name if permuted.optimal
+                    else None) == optimal, message
+            assert permuted.cheapest_within(fraction=0.9).name \
+                == cheapest, message
+            assert permuted.best_effort().name == best, message
+
+
+class TestSelectionProperties:
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_optimal_is_cheapest_feasible(self, seed):
+        result = random_result(random.Random(seed))
+        optimal = result.optimal
+        feasible = result.feasible
+        if not feasible:
+            assert optimal is None, f"seed={seed}"
+            return
+        assert optimal is not None, f"seed={seed}"
+        assert optimal.meets_target, f"seed={seed}"
+        assert all(optimal.cost <= p.cost for p in feasible), \
+            f"seed={seed}: {optimal.name} is not the cheapest feasible"
+
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_cheapest_within_contract(self, seed):
+        fraction = 0.9
+        result = random_result(random.Random(seed))
+        chosen = result.cheapest_within(fraction=fraction)
+        best = max(p.measured_mbps for p in result.points)
+        near = [p for p in result.points
+                if p.measured_mbps >= fraction * best]
+        assert chosen.measured_mbps >= fraction * best, f"seed={seed}"
+        assert all(chosen.cost <= p.cost for p in near), \
+            f"seed={seed}: a cheaper near-best point exists"
+
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_best_effort_is_fastest(self, seed):
+        result = random_result(random.Random(seed))
+        best = result.best_effort()
+        assert best.measured_mbps \
+            == max(p.measured_mbps for p in result.points), f"seed={seed}"
