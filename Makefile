@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench sweep
+.PHONY: test test-fast bench sweep faults
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -14,6 +14,14 @@ test-fast:
 # Kernel speed benchmark; refreshes BENCH_kernel_speed.json at the repo root.
 bench:
 	$(PYTHON) benchmarks/bench_kernel_speed.py
+
+# Fault-injection determinism check: the seeded campaign must produce
+# byte-identical JSON across two runs (and across worker counts).
+faults:
+	$(PYTHON) -m repro faults --json --workers 1 > /tmp/repro-faults-a.json
+	$(PYTHON) -m repro faults --json --workers 4 > /tmp/repro-faults-b.json
+	cmp /tmp/repro-faults-a.json /tmp/repro-faults-b.json
+	@echo "faults campaign deterministic across worker counts"
 
 # Sweep-engine benchmark: serial vs parallel vs warm-cache Fig. 3 sweep;
 # refreshes BENCH_sweep.json at the repo root.  Knobs:

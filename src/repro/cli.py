@@ -8,6 +8,7 @@ Usage::
     python -m repro fig4                     # Fig. 4
     python -m repro fig5                     # Fig. 5
     python -m repro fig6                     # Fig. 6
+    python -m repro faults --seed 1234       # fault-injection campaign
     python -m repro run --config ssd.cfg --workload SW --commands 1000
     python -m repro explore --configs C1,C2,C6,C8
     python -m repro report --out report.md   # everything, as markdown
@@ -24,7 +25,8 @@ import sys
 from typing import List, Optional
 
 from .core import (DesignSpaceExplorer, ResourceCostModel, SweepPoint,
-                   SweepRunner, TABLE2_LABELS, fig3_sweep, fig4_sweep,
+                   SweepRunner, TABLE2_LABELS, faults_campaign, fig3_sweep,
+                   fig4_sweep,
                    fig5_wearout_sweep, kernel_speed_report, print_progress,
                    render_breakdown_table, render_report,
                    render_series_table, render_speed_table, render_table,
@@ -59,7 +61,12 @@ def add_sweep_options(parser: argparse.ArgumentParser) -> None:
                              "point")
     parser.add_argument("--resume", action="store_true",
                         help="continue a killed sweep from its cached "
-                             "partial results (requires a cache dir)")
+                             "partial results (requires a cache dir); "
+                             "previously failed points are re-run")
+    parser.add_argument("--timeout", type=float, default=0.0,
+                        help="per-point time budget in seconds "
+                             "(0 = unlimited); a point over budget is "
+                             "recorded as failed, not crashed")
 
 
 def runner_from_args(args: argparse.Namespace,
@@ -77,15 +84,23 @@ def runner_from_args(args: argparse.Namespace,
                          "REPRO_SWEEP_CACHE_DIR) pointing at the "
                          "interrupted sweep's cache")
     workers = getattr(args, "workers", 1) or None   # 0 -> all cores
+    timeout = getattr(args, "timeout", 0.0) or None  # 0 -> unlimited
     return SweepRunner(workers=workers,
                        cache_dir=None if no_cache else cache_dir,
                        use_cache=not no_cache,
-                       progress=None if quiet else print_progress)
+                       progress=None if quiet else print_progress,
+                       timeout_s=timeout)
 
 
-def _print_summary(runner: SweepRunner) -> None:
+def _print_summary(runner: SweepRunner) -> int:
+    """Print the sweep summary; nonzero when any point failed."""
     if runner.last_summary is not None:
         print(runner.last_summary.format())
+    result = runner.last_result
+    if result is not None and result.summary.failed:
+        print(result.format_failures(), file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_features(args: argparse.Namespace) -> int:
@@ -111,8 +126,7 @@ def cmd_fig3(args: argparse.Namespace) -> int:
     rows = fig3_sweep(n_commands=args.commands,
                       configs=_parse_configs(args.configs), runner=runner)
     print(render_breakdown_table(rows))
-    _print_summary(runner)
-    return 0
+    return _print_summary(runner)
 
 
 def cmd_fig4(args: argparse.Namespace) -> int:
@@ -120,8 +134,7 @@ def cmd_fig4(args: argparse.Namespace) -> int:
     rows = fig4_sweep(n_commands=args.commands,
                       configs=_parse_configs(args.configs), runner=runner)
     print(render_breakdown_table(rows))
-    _print_summary(runner)
-    return 0
+    return _print_summary(runner)
 
 
 def cmd_fig5(args: argparse.Namespace) -> int:
@@ -130,8 +143,41 @@ def cmd_fig5(args: argparse.Namespace) -> int:
     series = fig5_wearout_sweep(fractions=fractions,
                                 n_commands=args.commands, runner=runner)
     print(render_series_table(series))
-    _print_summary(runner)
-    return 0
+    return _print_summary(runner)
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    runner = runner_from_args(args, quiet=args.json)
+    rows = faults_campaign(n_commands=args.commands, seed=args.seed,
+                           runner=runner)
+    failures = (runner.last_result.failures()
+                if runner.last_result is not None else [])
+    if args.json:
+        import json
+        document = {
+            "seed": args.seed,
+            "commands": args.commands,
+            "rows": rows,
+            "failed_points": [
+                {"name": outcome.name,
+                 "error_type": outcome.failure.error_type,
+                 "message": outcome.failure.message}
+                for outcome in failures],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 1 if failures else 0
+    header = (f"{'point':<20} {'MB/s':>7} {'retries':>8} {'ret/read':>9} "
+              f"{'uncorr':>7} {'retired':>8} {'remaps':>7} {'failed':>7} "
+              f"{'UBER':>10}")
+    print(header)
+    print("-" * len(header))
+    for name, row in rows.items():
+        print(f"{name:<20} {row['sustained_mbps']:>7.1f} "
+              f"{row['read_retries']:>8d} {row['retries_per_read']:>9.3f} "
+              f"{row['uncorrectable_reads']:>7d} "
+              f"{row['retired_blocks']:>8d} {row['remapped_programs']:>7d} "
+              f"{row['failed_commands']:>7d} {row['uber']:>10.2e}")
+    return _print_summary(runner)
 
 
 def cmd_fig6(args: argparse.Namespace) -> int:
@@ -165,6 +211,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     outcome = runner.run([SweepPoint(
         name=label, arch=arch, workload=workload, evaluator="measure",
         params={"warm_start": args.warm, "label": label})]).outcomes[0]
+    if outcome.failed:
+        print(f"run FAILED: {outcome.failure.error_type}: "
+              f"{outcome.failure.message}", file=sys.stderr)
+        if outcome.failure.traceback:
+            print(outcome.failure.traceback, file=sys.stderr)
+        return 1
     payload = outcome.payload
     if args.json:
         import json
@@ -231,8 +283,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         fallback = result.cheapest_within()
         print("no point meets the target; cheapest near-best: "
               f"{fallback.name}")
-    _print_summary(runner)
-    return 0
+    return _print_summary(runner)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,6 +314,17 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--steps", type=int, default=10)
     add_sweep_options(fig5)
     fig5.set_defaults(func=cmd_fig5)
+
+    faults = sub.add_parser(
+        "faults", help="seeded fault-injection campaign (reliability "
+                       "metrics: retries, remaps, UBER)")
+    faults.add_argument("--commands", type=int, default=300)
+    faults.add_argument("--seed", type=int, default=1234,
+                        help="fault-plan seed; same seed = same schedule")
+    faults.add_argument("--json", action="store_true",
+                        help="emit deterministic JSON (for diffing runs)")
+    add_sweep_options(faults)
+    faults.set_defaults(func=cmd_faults)
 
     fig6 = sub.add_parser("fig6", help="Fig. 6 simulation speed")
     fig6.add_argument("--commands", type=int, default=400)

@@ -24,6 +24,7 @@ from typing import List, Optional
 
 from ..cpu.dma import DmaEngine
 from ..ecc.adaptive import EccScheme
+from ..faults import ProgramFailError, UncorrectableReadError
 from ..kernel import Component, Resource, Simulator
 from ..kernel.tracing import trace, trace_enabled
 from ..kernel.simtime import Clock, ns
@@ -134,6 +135,13 @@ class ChannelWayController(Component):
             yield self.sim.process(die.program(address))
         finally:
             self._die_locks[way][die_index].release(ready)
+        if die.fault_plan is not None and die.last_program_failed:
+            # Status poll reports FAIL: array time is spent, the page is
+            # consumed, and the device layer must remap the data.
+            self.stats.counter("program_fail_reports").increment()
+            raise ProgramFailError(
+                f"{self.path()}: program-status FAIL at way{way} "
+                f"die{die_index} {address}", address=address)
         self.stats.counter("programs").increment()
         self.stats.meter("write_data").record(self.geometry.page_bytes)
         if trace_enabled():
@@ -143,36 +151,69 @@ class ChannelWayController(Component):
 
     def read_page(self, way: int, die_index: int, address: PageAddress,
                   errors_present: bool = True):
-        """Generator: full read path for one page; returns elapsed ps."""
+        """Generator: full read path for one page; returns elapsed ps.
+
+        With fault injection enabled the drawn bit errors are compared
+        against the ECC scheme's correction capability at this block's
+        wear; an over-budget page climbs the read-retry ladder (each rung
+        pays a full re-sense + transfer + decode), and a page that
+        exhausts the ladder raises :class:`UncorrectableReadError` for
+        the device layer to surface as a command error completion.
+        """
         die = self.die(way, die_index)
+        plan = die.fault_plan
         start = self.sim.now
         yield from self._translate()
 
-        # Wait for die ready, command issue, then array sense (die busy,
-        # bus free).
-        ready = self._die_locks[way][die_index].acquire()
-        yield ready
-        try:
-            yield from self.buses.issue_command(way)
-            yield self.sim.process(die.read(address))
-        finally:
-            self._die_locks[way][die_index].release(ready)
+        attempt = 0
+        while True:
+            # Wait for die ready, command issue, then array sense (die
+            # busy, bus free).
+            ready = self._die_locks[way][die_index].acquire()
+            yield ready
+            try:
+                yield from self.buses.issue_command(way)
+                yield self.sim.process(die.read(address))
+            finally:
+                self._die_locks[way][die_index].release(ready)
 
-        slot = self.sram.acquire()
-        yield slot
-        try:
-            # Data-out, then decode; wear decides the decode effort.
-            yield from self.buses.transfer(way, self.geometry.raw_page_bytes)
-            pe = die.pe_cycles(address.plane, address.block)
-            decode_ps = self.ecc.decode_time_ps(self.geometry.page_bytes, pe,
-                                                errors_present)
-            if decode_ps:
-                engine = self.decoder.acquire()
-                yield engine
-                yield self.sim.timeout(decode_ps)
-                self.decoder.release(engine)
-        finally:
-            self.sram.release(slot)
+            slot = self.sram.acquire()
+            yield slot
+            try:
+                # Data-out, then decode; wear decides the decode effort.
+                yield from self.buses.transfer(way,
+                                               self.geometry.raw_page_bytes)
+                pe = die.pe_cycles(address.plane, address.block)
+                decode_ps = self.ecc.decode_time_ps(self.geometry.page_bytes,
+                                                    pe, errors_present)
+                if decode_ps:
+                    engine = self.decoder.acquire()
+                    yield engine
+                    yield self.sim.timeout(decode_ps)
+                    self.decoder.release(engine)
+            finally:
+                self.sram.release(slot)
+
+            if plan is None or not plan.config.bit_errors:
+                break
+            t = self.ecc.correction_for(pe)
+            errors = die.draw_read_errors(
+                address, self.ecc.codeword_bits(),
+                self.ecc.codewords_per_page(self.geometry.page_bytes),
+                attempt)
+            if errors <= t:
+                if attempt:
+                    self.stats.counter("read_retry_success").increment()
+                break
+            if attempt >= plan.config.read_retry_max:
+                self.stats.counter("uncorrectable_reads").increment()
+                raise UncorrectableReadError(
+                    f"{self.path()}: way{way} die{die_index} {address} "
+                    f"uncorrectable after {attempt} retries "
+                    f"({errors} errors > t={t})",
+                    address=address, errors=errors, t=t, retries=attempt)
+            attempt += 1
+            self.stats.counter("read_retries").increment()
         self.stats.counter("reads").increment()
         self.stats.meter("read_data").record(self.geometry.page_bytes)
         if trace_enabled():
@@ -306,6 +347,10 @@ class ChannelWayController(Component):
             yield self.sim.process(die.erase(plane, block))
         finally:
             self._die_locks[way][die_index].release(ready)
+        if die.fault_plan is not None and die.last_erase_failed:
+            # The die already retired the block; the caller consults the
+            # spare pool (see SsdDevice._note_grown_bad).
+            self.stats.counter("erase_fail_reports").increment()
         self.stats.counter("erases").increment()
         if trace_enabled():
             trace(self.sim.now, self.path(), "erase",

@@ -6,7 +6,9 @@ table and figure of the paper; validation, speed and features reproduce
 Fig. 2, Fig. 6 and Table I respectively.
 """
 
-from .experiments import (TABLE2_LABELS, TABLE3_LABELS, fig3_sweep,
+from .experiments import (FAULT_CAMPAIGN_FRACTIONS, TABLE2_LABELS,
+                          TABLE3_LABELS, faults_architecture,
+                          faults_campaign, fig3_sweep,
                           fig3_workload, fig4_sweep, fig5_architecture,
                           fig5_wearout_sweep, table2_configs,
                           table3_configs, validation_config)
@@ -23,9 +25,9 @@ from .report import (render_breakdown_table, render_series_table,
 from .sensitivity import (SensitivityCurve, SensitivityPoint,
                           bottleneck_report, render_sensitivity_table,
                           sweep_parameter)
-from .sweep import (CODE_VERSION, PointOutcome, SweepCache, SweepPoint,
-                    SweepResult, SweepRunner, SweepSummary, fingerprint,
-                    print_progress)
+from .sweep import (CODE_VERSION, PointFailure, PointOutcome, PointTimeout,
+                    SweepCache, SweepPoint, SweepResult, SweepRunner,
+                    SweepSummary, fingerprint, print_progress)
 from .speed import (PLATFORM_CLOCK_HZ, SpeedSample, measure_speed,
                     speed_sweep)
 from .validation import (PAPER_ERROR_MARGINS, REFERENCE_MBPS,
@@ -33,7 +35,8 @@ from .validation import (PAPER_ERROR_MARGINS, REFERENCE_MBPS,
 
 __all__ = [
     "CAPABILITY_CHECKS", "CODE_VERSION", "DesignPoint",
-    "DesignSpaceExplorer", "PointOutcome", "SweepCache", "SweepPoint",
+    "DesignSpaceExplorer", "PointFailure", "PointOutcome", "PointTimeout",
+    "SweepCache", "SweepPoint",
     "SweepResult", "SweepRunner", "SweepSummary", "fingerprint",
     "print_progress",
     "ExplorationResult", "FEATURE_MATRIX", "PAPER_ERROR_MARGINS",
@@ -41,7 +44,9 @@ __all__ = [
     "ResourceCostModel", "SIMULATION_SPEED", "SensitivityCurve",
     "SensitivityPoint", "SpeedSample", "bottleneck_report",
     "render_sensitivity_table", "sweep_parameter",
-    "TABLE2_LABELS", "TABLE3_LABELS", "ValidationPoint", "fig3_sweep",
+    "FAULT_CAMPAIGN_FRACTIONS", "TABLE2_LABELS", "TABLE3_LABELS",
+    "ValidationPoint", "faults_architecture", "faults_campaign",
+    "fig3_sweep",
     "fig3_workload", "fig4_sweep", "fig5_architecture",
     "fig5_wearout_sweep", "generate_design_space", "generate_report",
     "interface_speed", "kernel_microbench", "kernel_speed_report",

@@ -86,7 +86,7 @@ def _breakdown_sweep(base: SsdArchitecture, n_commands: int,
     result = runner.run([SweepPoint(name=name, arch=arch, workload=workload)
                          for name, arch in items])
     return {outcome.name: BreakdownRow.from_dict(outcome.payload)
-            for outcome in result.outcomes}
+            for outcome in result.outcomes if not outcome.failed}
 
 
 def fig3_sweep(n_commands: int = 2000,
@@ -150,8 +150,75 @@ def fig5_wearout_sweep(fractions: Optional[List[float]] = None,
     runner = runner or SweepRunner(workers=1)
     outcomes = runner.run(points).outcomes
     for (key, fraction), outcome in zip(slots, outcomes):
+        if outcome.failed:
+            continue
         series[key].append((fraction, outcome.payload["sustained_mbps"]))
     return series
+
+
+#: Default endurance fractions for the fault-injection demo campaign:
+#: healthy mid-life, near end-of-life, and at rated endurance.
+FAULT_CAMPAIGN_FRACTIONS: Tuple[float, ...] = (0.5, 0.9, 1.0)
+
+
+def faults_architecture(seed: int = 1234,
+                        normalized_endurance: float = 0.9
+                        ) -> SsdArchitecture:
+    """A small drive with an aggressive-but-plausible fault campaign.
+
+    Rates are scaled up from datasheet orders of magnitude so that a few
+    hundred commands exhibit every recovery tier (read retry, remap,
+    uncorrectable); the seed pins the whole schedule.
+    """
+    from ..faults import FaultConfig
+    arch = SsdArchitecture(n_ddr_buffers=2, n_channels=2, n_ways=2,
+                           dies_per_way=2, ecc=AdaptiveBch())
+    pe = arch.wear_model.pe_for_normalized(normalized_endurance)
+    # rber_scale 4x: below the ECC budget at mid-life, above it near
+    # end-of-life, so the campaign shows the retry ladder engaging as the
+    # drive wears out.
+    faults = FaultConfig(enabled=True, seed=seed, rber_scale=4.0,
+                         program_fail_prob=0.01, erase_fail_prob=0.01,
+                         stuck_busy_prob=0.002, factory_bad_prob=0.002)
+    return arch.scaled(initial_pe_cycles=pe, faults=faults)
+
+
+def faults_campaign(n_commands: int = 300, seed: int = 1234,
+                    fractions: Optional[List[float]] = None,
+                    runner: Optional[SweepRunner] = None
+                    ) -> Dict[str, Dict[str, object]]:
+    """Seeded fault-injection campaign over wear levels and workloads.
+
+    Returns ``{label: {"sustained_mbps": ..., <reliability metrics>}}``
+    in deterministic label order — two runs with the same seed must
+    produce byte-identical rows whatever the worker count.
+    """
+    fractions = list(fractions if fractions is not None
+                     else FAULT_CAMPAIGN_FRACTIONS)
+    points: List[SweepPoint] = []
+    for fraction in fractions:
+        arch = faults_architecture(seed, fraction)
+        # Writes warm-start the cache so the host is gated on the flash
+        # drain (otherwise the closed loop ends before any page programs
+        # and no write faults can fire).
+        for kind, factory, warm in (("write", sequential_write, True),
+                                    ("read", sequential_read, False)):
+            label = f"faults/{kind}/{fraction}"
+            points.append(SweepPoint(
+                name=label, arch=arch, workload=factory(4096 * n_commands),
+                evaluator="measure",
+                params={"label": label, "warm_start": warm}))
+    runner = runner or SweepRunner(workers=1)
+    result = runner.run(points)
+    rows: Dict[str, Dict[str, object]] = {}
+    for outcome in result.outcomes:
+        if outcome.failed:
+            continue
+        row: Dict[str, object] = {
+            "sustained_mbps": outcome.payload["sustained_mbps"]}
+        row.update(outcome.payload.get("reliability", {}))
+        rows[outcome.name] = row
+    return rows
 
 
 def validation_config() -> SsdArchitecture:

@@ -28,8 +28,11 @@ import json
 import multiprocessing
 import os
 import random
+import signal
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
@@ -40,7 +43,8 @@ from ..ssd.scenarios import breakdown_with_events, measure
 #: Salt folded into every fingerprint.  Bump whenever a change alters the
 #: simulated numbers (timing models, scheduler fixes, metric definitions)
 #: so stale cache entries from older code are treated as misses.
-CODE_VERSION = "sweep-1"
+#: sweep-2: architectures gained the fault-injection config field.
+CODE_VERSION = "sweep-2"
 
 
 # ----------------------------------------------------------------------
@@ -160,6 +164,54 @@ def _evaluate(point: SweepPoint, key: Optional[str],
     }
 
 
+class PointTimeout(Exception):
+    """A sweep point exceeded the runner's per-point time budget."""
+
+
+def _evaluate_guarded(point: SweepPoint, key: Optional[str], salt: str,
+                      timeout_s: Optional[float]) -> Dict[str, Any]:
+    """:func:`_evaluate`, but a crash or timeout becomes a *failure
+    envelope* instead of an exception.
+
+    Worker processes return these like any other result, so one diverging
+    point cannot take down the sweep; the recorded traceback travels with
+    the envelope for the summary report and the cache.
+    """
+    started = time.perf_counter()
+    use_alarm = (timeout_s is not None and timeout_s > 0
+                 and hasattr(signal, "SIGALRM"))
+    previous = None
+    if use_alarm:
+        def on_alarm(signum, frame):
+            raise PointTimeout(
+                f"point {point.name!r} exceeded {timeout_s:.1f}s")
+        try:
+            previous = signal.signal(signal.SIGALRM, on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        except ValueError:   # not in the main thread: run unguarded
+            use_alarm = False
+    try:
+        return _evaluate(point, key, salt)
+    except Exception as error:
+        return {
+            "salt": salt,
+            "name": point.name,
+            "evaluator": point.evaluator,
+            "payload": {},
+            "events": 0,
+            "elapsed_s": time.perf_counter() - started,
+            "failure": {
+                "error_type": type(error).__name__,
+                "message": str(error),
+                "traceback": traceback.format_exc(),
+            },
+        }
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
 # ----------------------------------------------------------------------
 # Result cache
 
@@ -209,6 +261,30 @@ class SweepCache:
 
 
 @dataclass
+class PointFailure:
+    """Typed record of a point that crashed, timed out or was lost.
+
+    Stored in the cache envelope (so post-mortems survive the run) but
+    always treated as a cache *miss* on load — ``--resume`` re-runs
+    failed points instead of replaying their failures.
+    """
+
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"error_type": self.error_type, "message": self.message,
+                "traceback": self.traceback}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PointFailure":
+        return cls(error_type=str(data.get("error_type", "Exception")),
+                   message=str(data.get("message", "")),
+                   traceback=str(data.get("traceback", "")))
+
+
+@dataclass
 class PointOutcome:
     """One point's result plus provenance."""
 
@@ -218,6 +294,11 @@ class PointOutcome:
     events: int
     elapsed_s: float
     key: Optional[str]
+    failure: Optional[PointFailure] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
 
 
 @dataclass
@@ -230,6 +311,7 @@ class SweepSummary:
     wall_seconds: float
     simulated_events: int
     workers: int
+    failed: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -239,8 +321,9 @@ class SweepSummary:
 
     def format(self) -> str:
         line = (f"sweep: {self.total} points "
-                f"({self.cached} cached, {self.simulated} simulated) "
-                f"in {self.wall_seconds:.2f}s")
+                f"({self.cached} cached, {self.simulated} simulated"
+                + (f", {self.failed} FAILED" if self.failed else "")
+                + f") in {self.wall_seconds:.2f}s")
         if self.simulated:
             line += (f" — {self.events_per_sec / 1e3:.0f}k events/s "
                      f"across {self.workers} worker(s)")
@@ -255,7 +338,24 @@ class SweepResult:
     summary: SweepSummary
 
     def payloads(self) -> Dict[str, Dict[str, Any]]:
-        return {outcome.name: outcome.payload for outcome in self.outcomes}
+        return {outcome.name: outcome.payload for outcome in self.outcomes
+                if not outcome.failed}
+
+    def failures(self) -> List[PointOutcome]:
+        """Failed points, in input order."""
+        return [outcome for outcome in self.outcomes if outcome.failed]
+
+    def format_failures(self) -> str:
+        """Human-readable ``failed_points`` section for the sweep report."""
+        failures = self.failures()
+        if not failures:
+            return ""
+        lines = [f"failed_points: {len(failures)}"]
+        for outcome in failures:
+            lines.append(f"  {outcome.name}: "
+                         f"{outcome.failure.error_type}: "
+                         f"{outcome.failure.message}")
+        return "\n".join(lines)
 
 
 class SweepRunner:
@@ -273,16 +373,27 @@ class SweepRunner:
                  use_cache: bool = True,
                  salt: str = CODE_VERSION,
                  progress: Optional[Callable[[PointOutcome, int, int],
-                                             None]] = None):
+                                             None]] = None,
+                 timeout_s: Optional[float] = None,
+                 pool_retries: int = 2,
+                 retry_backoff_s: float = 0.5):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 (or None for all cores)")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if pool_retries < 0:
+            raise ValueError("pool_retries must be >= 0")
         self.workers = workers if workers is not None \
             else (os.cpu_count() or 1)
         self.cache = SweepCache(cache_dir) if cache_dir else None
         self.use_cache = use_cache
         self.salt = salt
         self.progress = progress
+        self.timeout_s = timeout_s
+        self.pool_retries = pool_retries
+        self.retry_backoff_s = retry_backoff_s
         self.last_summary: Optional[SweepSummary] = None
+        self.last_result: Optional[SweepResult] = None
 
     # ------------------------------------------------------------------
     def run(self, points: Sequence[SweepPoint]) -> SweepResult:
@@ -303,6 +414,10 @@ class SweepRunner:
             envelope = None
             if self.cache is not None and self.use_cache and key is not None:
                 envelope = self.cache.load(key)
+            if envelope is not None and envelope.get("failure") is not None:
+                # Recorded failures are post-mortem data, never results:
+                # a resumed sweep re-runs the point from scratch.
+                envelope = None
             if envelope is not None:
                 outcomes[index] = PointOutcome(
                     name=point.name, payload=envelope["payload"],
@@ -317,10 +432,14 @@ class SweepRunner:
             nonlocal done
             if self.cache is not None and keys[index] is not None:
                 self.cache.store(keys[index], envelope)
+            failure = None
+            if envelope.get("failure") is not None:
+                failure = PointFailure.from_dict(envelope["failure"])
             outcomes[index] = PointOutcome(
                 name=points[index].name, payload=envelope["payload"],
                 cached=False, events=int(envelope["events"]),
-                elapsed_s=float(envelope["elapsed_s"]), key=keys[index])
+                elapsed_s=float(envelope["elapsed_s"]), key=keys[index],
+                failure=failure)
             done += 1
             self._emit(outcomes[index], done, len(points))
 
@@ -328,8 +447,9 @@ class SweepRunner:
         if pending:
             if workers == 1 or len(pending) == 1:
                 for index in pending:
-                    finish(index, _evaluate(points[index], keys[index],
-                                            self.salt))
+                    finish(index, _evaluate_guarded(
+                        points[index], keys[index], self.salt,
+                        self.timeout_s))
             else:
                 self._run_pool(points, keys, pending, workers, finish)
 
@@ -342,33 +462,67 @@ class SweepRunner:
             wall_seconds=wall,
             simulated_events=sum(o.events for o in simulated),
             workers=workers,
+            failed=sum(1 for o in outcomes
+                       if o is not None and o.failed),
         )
         self.last_summary = summary
-        return SweepResult(outcomes=list(outcomes), summary=summary)
+        result = SweepResult(outcomes=list(outcomes), summary=summary)
+        self.last_result = result
+        return result
 
     # ------------------------------------------------------------------
     def _run_pool(self, points: Sequence[SweepPoint],
                   keys: Sequence[Optional[str]], pending: Sequence[int],
                   workers: int, finish: Callable[[int, Dict[str, Any]],
                                                  None]) -> None:
-        try:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None)
-            pool = ProcessPoolExecutor(max_workers=workers,
-                                       mp_context=context)
-        except (OSError, ValueError, ImportError):
-            # Platforms without usable multiprocessing: serial fallback.
-            for index in pending:
-                finish(index, _evaluate(points[index], keys[index],
-                                        self.salt))
-            return
-        with pool:
-            futures = {pool.submit(_evaluate, points[index], keys[index],
-                                   self.salt): index
-                       for index in pending}
+        """Fan pending points out, surviving worker-pool crashes.
+
+        Ordinary point failures come back as failure envelopes (handled
+        worker-side), so the only exception expected here is
+        :class:`BrokenProcessPool` — a worker died hard (segfault, OOM
+        kill).  The batch is retried on a fresh pool with exponential
+        backoff; whatever still crashes the pool after the retry budget
+        runs serially in-process, one point at a time, so a single killer
+        point is isolated instead of sinking the sweep.
+        """
+        remaining = list(pending)
+        backoff = self.retry_backoff_s
+        for attempt in range(self.pool_retries + 1):
+            if not remaining:
+                return
+            try:
+                self._drain_pool(points, keys, remaining, workers, finish)
+                return
+            except BrokenProcessPool:
+                if attempt < self.pool_retries:
+                    time.sleep(backoff)
+                    backoff *= 2
+            except (OSError, ValueError, ImportError):
+                # Platforms without usable multiprocessing: serial fallback.
+                break
+        for index in list(remaining):
+            finish(index, _evaluate_guarded(points[index], keys[index],
+                                            self.salt, self.timeout_s))
+            remaining.remove(index)
+
+    def _drain_pool(self, points: Sequence[SweepPoint],
+                    keys: Sequence[Optional[str]], remaining: List[int],
+                    workers: int, finish: Callable[[int, Dict[str, Any]],
+                                                   None]) -> None:
+        """One pool generation; drops finished indices from ``remaining``."""
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        with ProcessPoolExecutor(max_workers=min(workers, len(remaining)),
+                                 mp_context=context) as pool:
+            futures = {pool.submit(_evaluate_guarded, points[index],
+                                   keys[index], self.salt,
+                                   self.timeout_s): index
+                       for index in remaining}
             for future in as_completed(futures):
-                finish(futures[future], future.result())
+                index = futures[future]
+                finish(index, future.result())
+                remaining.remove(index)
 
     def _emit(self, outcome: PointOutcome, done: int, total: int) -> None:
         if self.progress is not None:
@@ -377,7 +531,10 @@ class SweepRunner:
 
 def print_progress(outcome: PointOutcome, done: int, total: int) -> None:
     """Default per-point progress line (the CLI's callback)."""
-    if outcome.cached:
+    if outcome.failed:
+        status = (f"FAILED ({outcome.failure.error_type}: "
+                  f"{outcome.failure.message})")
+    elif outcome.cached:
         status = "cached"
     else:
         status = f"simulated in {outcome.elapsed_s:6.2f}s"

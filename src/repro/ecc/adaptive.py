@@ -17,10 +17,11 @@ every page read/write to price the encode/decode delay.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
-from ..nand.wear import WearModel
+from ..nand.wear import ENDURANCE_SLACK, EnduranceWarning, WearModel
 from .latency import BchLatencyModel, DEFAULT_LATENCY
 
 
@@ -45,11 +46,26 @@ class CorrectionTable:
             raise ValueError("correction capabilities must be >= 0")
 
     def lookup(self, pe_cycles: int) -> int:
-        """Correction capability for a block at ``pe_cycles``."""
+        """Correction capability for a block at ``pe_cycles``.
+
+        Past the table's last threshold the final ``t`` is *clamped*
+        rather than extrapolated; queries more than ``ENDURANCE_SLACK``
+        beyond it warn once per table instance, because the vendor table
+        carries no sizing data for that regime (GC drift a few cycles
+        past rated stays silent).
+        """
         for threshold, t in self.entries:
             if pe_cycles <= threshold:
                 return t
-        return self.entries[-1][1]
+        last_threshold, last_t = self.entries[-1]
+        if (pe_cycles > last_threshold * (1.0 + ENDURANCE_SLACK)
+                and not getattr(self, "_warned_clamp", False)):
+            object.__setattr__(self, "_warned_clamp", True)  # frozen dc
+            warnings.warn(
+                f"correction table queried at {pe_cycles} P/E cycles, "
+                f"beyond its last threshold {last_threshold}; clamping "
+                f"to t={last_t}", EnduranceWarning, stacklevel=2)
+        return last_t
 
     @classmethod
     def from_wear_model(cls, wear_model: WearModel, codeword_bits: int,

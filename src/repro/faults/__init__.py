@@ -1,0 +1,18 @@
+"""Deterministic fault injection: fault models, error types, campaigns.
+
+:class:`FaultConfig` describes a campaign (probabilities, retry ladder,
+spare pool); :class:`FaultPlan` turns it into a keyed, call-order
+independent fault schedule; the error types are what the recovery tiers
+raise when injection defeats them (retry ladder exhausted, spare pool
+empty).
+"""
+
+from .plan import (FaultConfig, FaultError, FaultPlan, ProgramFailError,
+                   SparePoolExhausted, UncorrectableReadError,
+                   WriteFaultError, poisson_draw)
+
+__all__ = [
+    "FaultConfig", "FaultError", "FaultPlan", "ProgramFailError",
+    "SparePoolExhausted", "UncorrectableReadError", "WriteFaultError",
+    "poisson_draw",
+]

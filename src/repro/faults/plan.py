@@ -1,0 +1,255 @@
+"""Deterministic, seed-driven fault injection.
+
+The reliability story of the paper (Fig. 5 wear-out, the adaptive-BCH
+correction table) needs reads that can actually *fail*: bit errors drawn
+from the block's wear state, program/erase status failures, grown bad
+blocks and stuck-busy dies.  This module provides the fault *source*;
+detection and recovery live in the NAND / channel / device layers.
+
+Design constraints (the determinism contract of the sweep engine):
+
+* Every draw is a pure function of ``(seed, operation key, per-key
+  counter)`` — a keyed BLAKE2b hash, no shared RNG stream — so the fault
+  schedule is independent of process scheduling, worker count and call
+  order.  ``workers=1`` and ``workers=4`` sweeps therefore produce
+  bit-identical UBER / retry / retirement metrics.
+* With :attr:`FaultConfig.enabled` False no plan is ever constructed and
+  the hot paths pay a single ``is None`` check (the zero-overhead guard).
+
+The SBFI campaigns of the DAVOS toolkit use the same structure — a
+seeded faultload generated up front from per-target probabilities, then
+replayed against the design — adapted here to a discrete-event kernel:
+instead of materializing a faultload file we make the draw lazily at the
+moment the operation executes, keyed so the result is identical either
+way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..kernel.events import SimulationError
+from ..kernel.simtime import us
+
+
+class FaultError(SimulationError):
+    """Base class for injected-fault outcomes surfaced to callers."""
+
+
+class UncorrectableReadError(FaultError):
+    """A page read exhausted the retry ladder with errors beyond ECC."""
+
+    def __init__(self, message: str, address=None, errors: int = 0,
+                 t: int = 0, retries: int = 0):
+        super().__init__(message)
+        self.address = address
+        self.errors = errors
+        self.t = t
+        self.retries = retries
+
+
+class ProgramFailError(FaultError):
+    """The die reported program-status FAIL for a page."""
+
+    def __init__(self, message: str, address=None):
+        super().__init__(message)
+        self.address = address
+
+
+class WriteFaultError(FaultError):
+    """A write could not be placed (spare-block pool exhausted)."""
+
+
+class SparePoolExhausted(WriteFaultError):
+    """Block retirement ran out of spare blocks on a die."""
+
+
+def _probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs of one fault-injection campaign (fingerprintable).
+
+    The config is part of :class:`~repro.ssd.architecture.SsdArchitecture`,
+    so it participates in the sweep engine's content hash: changing any
+    knob is a cache miss, and the plan seed is pinned per design point.
+    """
+
+    enabled: bool = False
+    #: Campaign seed; combined with a per-device salt so two devices in
+    #: one process draw independent schedules.
+    seed: int = 0
+    #: Sample per-codeword bit errors from the wear model's RBER on every
+    #: page read (the fault source that makes Fig. 5 two-sided).
+    bit_errors: bool = True
+    #: Multiplier on the wear model's RBER (stress knob for campaigns
+    #: that want failures within short traces).
+    rber_scale: float = 1.0
+    #: Per-operation status-failure probabilities.
+    program_fail_prob: float = 0.0
+    erase_fail_prob: float = 0.0
+    #: Die stuck-busy/timeout fault: operation takes ``stuck_busy_extra_ps``
+    #: longer with this per-operation probability.
+    stuck_busy_prob: float = 0.0
+    stuck_busy_extra_ps: int = us(500)
+    #: Probability that a block is factory-marked bad (grown bad blocks
+    #: come from erase failures and program-fail retirement at runtime).
+    factory_bad_prob: float = 0.0
+    #: Read-retry ladder depth: how many re-reads the channel controller
+    #: attempts before declaring the page uncorrectable.
+    read_retry_max: int = 4
+    #: Effective RBER multiplier per retry step (shifted read voltages
+    #: recover a fraction of the raw errors on each rung of the ladder).
+    retry_rber_scale: float = 0.5
+    #: Spare blocks per plane available for bad-block retirement before
+    #: the device starts failing writes.
+    spare_blocks_per_plane: int = 8
+    #: Remap attempts per page before a write is declared failed.
+    max_remap_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        _probability("program_fail_prob", self.program_fail_prob)
+        _probability("erase_fail_prob", self.erase_fail_prob)
+        _probability("stuck_busy_prob", self.stuck_busy_prob)
+        _probability("factory_bad_prob", self.factory_bad_prob)
+        if self.rber_scale < 0:
+            raise ValueError("rber_scale must be >= 0")
+        if not 0.0 < self.retry_rber_scale <= 1.0:
+            raise ValueError("retry_rber_scale must be in (0, 1]")
+        if self.read_retry_max < 0:
+            raise ValueError("read_retry_max must be >= 0")
+        if self.stuck_busy_extra_ps < 0:
+            raise ValueError("stuck_busy_extra_ps must be >= 0")
+        if self.spare_blocks_per_plane < 0:
+            raise ValueError("spare_blocks_per_plane must be >= 0")
+        if self.max_remap_attempts < 1:
+            raise ValueError("max_remap_attempts must be >= 1")
+
+
+def poisson_draw(u: float, mean: float) -> int:
+    """Invert the Poisson CDF at quantile ``u`` (binomial tail stand-in).
+
+    Page bit errors are Binomial(n, p) with large n and small p; the
+    Poisson approximation is standard for RBER work and keeps the draw a
+    cheap deterministic function of one uniform.
+    """
+    if mean <= 0:
+        return 0
+    if not 0.0 <= u < 1.0:
+        raise ValueError(f"quantile must be in [0, 1), got {u}")
+    term = math.exp(-mean)
+    cdf = term
+    k = 0
+    # Bounded: beyond mean + 40 sigma the tail mass is < 1e-300.
+    limit = int(mean + 40 * math.sqrt(mean) + 40)
+    while u >= cdf and k < limit:
+        k += 1
+        term *= mean / k
+        cdf += term
+    return k
+
+
+class FaultPlan:
+    """Lazy, keyed fault schedule for one simulated device.
+
+    Each query hashes ``(operation key, per-key occurrence counter)``
+    under a seed-derived BLAKE2b key into a uniform in [0, 1).  The
+    counter distinguishes the Nth program of a page from the first while
+    keeping the schedule independent of interleaving across dies.
+    """
+
+    __slots__ = ("config", "_key", "_counts", "_static")
+
+    def __init__(self, config: FaultConfig, seed_material: str = ""):
+        if not config.enabled:
+            raise ValueError("FaultPlan requires an enabled FaultConfig")
+        self.config = config
+        digest = hashlib.blake2b(
+            f"faultplan:{config.seed}:{seed_material}".encode("utf-8"),
+            digest_size=16)
+        self._key = digest.digest()
+        self._counts: Dict[Tuple, int] = {}
+        self._static: Dict[Tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # Uniform draws
+    # ------------------------------------------------------------------
+    def _hash_uniform(self, label: Tuple) -> float:
+        raw = hashlib.blake2b(repr(label).encode("utf-8"), digest_size=8,
+                              key=self._key).digest()
+        return int.from_bytes(raw, "big") / 2.0 ** 64
+
+    def _uniform(self, *label) -> float:
+        """Fresh uniform for the Nth occurrence of an operation key."""
+        count = self._counts.get(label, 0)
+        self._counts[label] = count + 1
+        return self._hash_uniform((label, count))
+
+    def _static_uniform(self, *label) -> float:
+        """Memoized uniform — same value no matter how often queried."""
+        value = self._static.get(label)
+        if value is None:
+            value = self._static[label] = self._hash_uniform((label, -1))
+        return value
+
+    # ------------------------------------------------------------------
+    # Fault draws (called by the die / channel layers)
+    # ------------------------------------------------------------------
+    def factory_bad(self, die: str, plane: int, block: int) -> bool:
+        """Is this block factory-marked bad?  Static per block."""
+        if self.config.factory_bad_prob <= 0.0:
+            return False
+        return (self._static_uniform("bad", die, plane, block)
+                < self.config.factory_bad_prob)
+
+    def program_fails(self, die: str, plane: int, block: int,
+                      page: int) -> bool:
+        if self.config.program_fail_prob <= 0.0:
+            return False
+        return (self._uniform("pfail", die, plane, block, page)
+                < self.config.program_fail_prob)
+
+    def erase_fails(self, die: str, plane: int, block: int) -> bool:
+        if self.config.erase_fail_prob <= 0.0:
+            return False
+        return (self._uniform("efail", die, plane, block)
+                < self.config.erase_fail_prob)
+
+    def stuck_busy_ps(self, die: str, kind: str, plane: int,
+                      block: int) -> int:
+        """Extra busy time for a stuck/slow die (0 almost always)."""
+        if self.config.stuck_busy_prob <= 0.0:
+            return 0
+        if (self._uniform("stuck", die, kind, plane, block)
+                < self.config.stuck_busy_prob):
+            return self.config.stuck_busy_extra_ps
+        return 0
+
+    def read_bit_errors(self, die: str, address, rber: float,
+                        codeword_bits: int, codewords: int,
+                        attempt: int = 0) -> int:
+        """Worst per-codeword error count drawn for one page sense.
+
+        ``attempt`` > 0 models a read-retry rung: shifted read voltages
+        scale the effective RBER by ``retry_rber_scale ** attempt``, and
+        each physical re-read gets an independent draw.
+        """
+        if not self.config.bit_errors or codewords < 1:
+            return 0
+        effective = (rber * self.config.rber_scale
+                     * self.config.retry_rber_scale ** attempt)
+        mean = effective * codeword_bits
+        worst = 0
+        for codeword in range(codewords):
+            u = self._uniform("rderr", die, address.plane, address.block,
+                              address.page, attempt, codeword)
+            errors = poisson_draw(u, mean)
+            if errors > worst:
+                worst = errors
+        return worst

@@ -2,7 +2,7 @@
 trace player and IOZone-like workload generators."""
 
 from . import nvme, sata
-from .commands import IoCommand, IoOpcode, SECTOR_BYTES
+from .commands import IoCommand, IoOpcode, IoStatus, SECTOR_BYTES
 from .interface import (HostInterface, HostInterfaceSpec, pcie_nvme_spec,
                         sata2_spec, sata_spec)
 from .trace import (TraceError, format_trace, load_trace, parse_trace,
@@ -14,7 +14,8 @@ from .workload import (AccessPattern, CommandListWorkload, IOZONE_SUITE,
 __all__ = [
     "AccessPattern", "CommandListWorkload", "HostInterface",
     "HostInterfaceSpec", "IOZONE_SUITE",
-    "IoCommand", "IoOpcode", "SECTOR_BYTES", "TraceError", "Workload",
+    "IoCommand", "IoOpcode", "IoStatus", "SECTOR_BYTES", "TraceError",
+    "Workload",
     "format_trace", "load_trace", "parse_trace", "pcie_nvme_spec", "play_trace",
     "mixed_workload", "random_read", "random_write", "sata2_spec",
     "sata_spec", "save_trace", "timed_workload",

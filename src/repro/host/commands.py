@@ -18,6 +18,22 @@ class IoOpcode(enum.Enum):
     FLUSH = 4
 
 
+class IoStatus(enum.Enum):
+    """Completion status reported back over the host interface.
+
+    Real protocols return these in the completion (NVMe status field /
+    SATA error FIS); a command that hits an unrecoverable media error is
+    *completed with an error*, never dropped — the simulation must do the
+    same instead of crashing.
+    """
+
+    OK = "ok"
+    #: Read data remained uncorrectable after the full retry ladder.
+    UNCORRECTABLE = "uncorrectable"
+    #: Write could not be placed (remap attempts / spare pool exhausted).
+    WRITE_FAILED = "write-failed"
+
+
 @dataclass
 class IoCommand:
     """One host I/O command.
@@ -34,6 +50,7 @@ class IoCommand:
     issue_time_ps: int = -1
     submit_time_ps: int = -1      # entered the device (post link transfer)
     complete_time_ps: int = -1
+    status: IoStatus = IoStatus.OK
 
     def __post_init__(self) -> None:
         if self.lba < 0:
@@ -52,6 +69,10 @@ class IoCommand:
     @property
     def is_read(self) -> bool:
         return self.opcode is IoOpcode.READ
+
+    @property
+    def failed(self) -> bool:
+        return self.status is not IoStatus.OK
 
     @property
     def latency_ps(self) -> int:

@@ -11,11 +11,13 @@ from .onfi import OnfiChannel, OnfiTiming
 from .onfi_commands import (COMMAND_SET, OnfiCommandSpec, command_bus_time_ps,
                             sequence_description)
 from .timing import DEFAULT_TIMING, MlcTimingModel
-from .wear import DEFAULT_WEAR, BlockWearState, WearModel
+from .wear import (DEFAULT_WEAR, ENDURANCE_SLACK, BlockWearState,
+                   EnduranceWarning, WearModel)
 
 __all__ = [
     "DEFAULT_GEOMETRY", "DEFAULT_TIMING", "DEFAULT_WEAR", "BlockWearState",
-    "COMMAND_SET", "MlcTimingModel", "NandDie", "NandGeometry",
+    "COMMAND_SET", "ENDURANCE_SLACK", "EnduranceWarning", "MlcTimingModel",
+    "NandDie", "NandGeometry",
     "NandProtocolError", "OnfiChannel", "OnfiCommandSpec", "OnfiTiming",
     "PageAddress", "WearModel", "command_bus_time_ps",
     "sequence_description",

@@ -17,8 +17,9 @@ pointer and wear state, which is all the FTL and ECC layers need.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
+from ..faults import FaultPlan
 from ..kernel import Component, SimulationError, Simulator
 from .geometry import NandGeometry, PageAddress
 from .timing import MlcTimingModel
@@ -62,6 +63,14 @@ class NandDie(Component):
         # (plane, block) -> BlockWearState, created lazily.
         self._wear: Dict[Tuple[int, int], BlockWearState] = {}
         self._busy_tracker = self.stats.utilization("array")
+        # Fault injection: installed by the device via set_fault_plan();
+        # None keeps every fault branch a single attribute check.
+        self.fault_plan: Optional[FaultPlan] = None
+        self._fault_id = name
+        self._bad_blocks: Set[Tuple[int, int]] = set()
+        self._factory_checked: Set[Tuple[int, int]] = set()
+        self.last_program_failed = False
+        self.last_erase_failed = False
 
     # ------------------------------------------------------------------
     # State queries
@@ -89,6 +98,59 @@ class NandDie(Component):
         return self.wear_model.rber(self.pe_cycles(plane, block))
 
     # ------------------------------------------------------------------
+    # Fault injection and bad-block state
+    # ------------------------------------------------------------------
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Install the device's fault schedule (None disables faults)."""
+        self.fault_plan = plan
+        # Draw keys must be unique per die across the whole device, and
+        # path() is too hot to walk per operation — cache it once here.
+        self._fault_id = self.path()
+
+    def is_bad_block(self, plane: int, block: int) -> bool:
+        """Grown or factory bad?  Factory draws are memoized lazily."""
+        key = (plane, block)
+        if key in self._bad_blocks:
+            return True
+        plan = self.fault_plan
+        if plan is not None and key not in self._factory_checked:
+            self._factory_checked.add(key)
+            if plan.factory_bad(self._fault_id, plane, block):
+                self._bad_blocks.add(key)
+                self.stats.counter("factory_bad_blocks").increment()
+                return True
+        return False
+
+    def mark_bad(self, plane: int, block: int) -> None:
+        """Retire a block (grown bad: erase failure or program-fail)."""
+        key = (plane, block)
+        if key not in self._bad_blocks:
+            self._bad_blocks.add(key)
+            self.stats.counter("grown_bad_blocks").increment()
+
+    @property
+    def bad_block_count(self) -> int:
+        return len(self._bad_blocks)
+
+    def draw_read_errors(self, address: PageAddress, codeword_bits: int,
+                         codewords: int, attempt: int = 0) -> int:
+        """Worst per-codeword bit-error count for one sense of a page.
+
+        The draw is sampled from this block's wear-state RBER, so faults
+        emerge from wear rather than from a hand-set constant.  Each
+        retry ``attempt`` re-draws at the ladder's reduced effective RBER.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return 0
+        errors = plan.read_bit_errors(
+            self._fault_id, address, self.rber(address.plane, address.block),
+            codeword_bits, codewords, attempt)
+        if errors:
+            self.stats.counter("read_bit_errors").increment(errors)
+        return errors
+
+    # ------------------------------------------------------------------
     # Array operations (generator processes: yield them with sim.process
     # or from within another process)
     # ------------------------------------------------------------------
@@ -105,6 +167,12 @@ class NandDie(Component):
         self._begin(self.READING)
         duration = self.timing.read_time(address.page,
                                          self.wear_fraction(*key))
+        if self.fault_plan is not None:
+            stuck = self.fault_plan.stuck_busy_ps(
+                self._fault_id, "read", address.plane, address.block)
+            if stuck:
+                duration += stuck
+                self.stats.counter("stuck_busy_faults").increment()
         yield self.sim.timeout(duration)
         self._end()
         wear_state = self._wear_state(key)
@@ -125,11 +193,25 @@ class NandDie(Component):
         self._begin(self.PROGRAMMING)
         duration = self.timing.program_time(address.page, address.block,
                                             self.wear_fraction(*key))
+        if self.fault_plan is not None:
+            stuck = self.fault_plan.stuck_busy_ps(
+                self._fault_id, "program", address.plane, address.block)
+            if stuck:
+                duration += stuck
+                self.stats.counter("stuck_busy_faults").increment()
         yield self.sim.timeout(duration)
         self._end()
         self._write_pointers[key] = pointer + 1
         self._wear_state(key).record_program()
         self.stats.counter("programs").increment()
+        if self.fault_plan is not None:
+            # Program-status FAIL: the array time is spent, the page is
+            # consumed, but the controller must treat the data as lost
+            # and remap (the page register still holds it).
+            self.last_program_failed = self.fault_plan.program_fails(
+                self._fault_id, address.plane, address.block, address.page)
+            if self.last_program_failed:
+                self.stats.counter("program_fails").increment()
         return duration
 
     def erase(self, plane: int, block: int):
@@ -138,11 +220,25 @@ class NandDie(Component):
         key = (plane, block)
         self._begin(self.ERASING)
         duration = self.timing.erase_time(block, self.wear_fraction(*key))
+        if self.fault_plan is not None:
+            stuck = self.fault_plan.stuck_busy_ps(
+                self._fault_id, "erase", plane, block)
+            if stuck:
+                duration += stuck
+                self.stats.counter("stuck_busy_faults").increment()
         yield self.sim.timeout(duration)
         self._end()
         self._write_pointers[key] = 0
         self._wear_state(key).record_erase()
         self.stats.counter("erases").increment()
+        if self.fault_plan is not None:
+            # Erase-status FAIL grows a bad block: the block is retired
+            # on the spot and must never be allocated again.
+            self.last_erase_failed = self.fault_plan.erase_fails(
+                self._fault_id, plane, block)
+            if self.last_erase_failed:
+                self.stats.counter("erase_fails").increment()
+                self.mark_bad(plane, block)
         return duration
 
     # ------------------------------------------------------------------

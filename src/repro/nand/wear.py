@@ -16,7 +16,18 @@ provides:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
+
+
+class EnduranceWarning(UserWarning):
+    """A wear/ECC model was queried beyond its calibrated endurance."""
+
+
+#: Queries up to this fraction beyond rated endurance stay silent: GC
+#: traffic routinely pushes end-of-life blocks a few cycles past rated
+#: during a run, which is drift, not a modeling error.
+ENDURANCE_SLACK = 0.05
 
 
 @dataclass(frozen=True)
@@ -44,11 +55,33 @@ class WearModel:
             raise ValueError("RBER coefficients must be non-negative")
 
     def rber(self, pe_cycles: int) -> float:
-        """Raw bit error rate after ``pe_cycles`` program/erase cycles."""
+        """Raw bit error rate after ``pe_cycles`` program/erase cycles.
+
+        The power law is calibrated only up to rated endurance (the
+        correction table tops out there too), so beyond it the RBER is
+        *clamped* at the end-of-life value instead of extrapolated.
+        Queries more than ``ENDURANCE_SLACK`` past rated warn once per
+        model instance — that regime has no characterization data.
+        """
         if pe_cycles < 0:
             raise ValueError(f"pe_cycles must be >= 0, got {pe_cycles}")
+        if pe_cycles > self.rated_endurance:
+            self._warn_beyond_endurance(pe_cycles)
+            pe_cycles = self.rated_endurance
         wear = pe_cycles / self.rated_endurance
         return self.rber_fresh + self.rber_growth * wear ** self.exponent
+
+    def _warn_beyond_endurance(self, pe_cycles: int) -> None:
+        if pe_cycles <= self.rated_endurance * (1.0 + ENDURANCE_SLACK):
+            return
+        if getattr(self, "_warned_endurance", False):
+            return
+        object.__setattr__(self, "_warned_endurance", True)  # frozen dc
+        warnings.warn(
+            f"RBER queried at {pe_cycles} P/E cycles, beyond rated "
+            f"endurance {self.rated_endurance}; clamping to the "
+            f"end-of-life value (no characterization data past rated)",
+            EnduranceWarning, stacklevel=3)
 
     def normalized(self, pe_cycles: int) -> float:
         """P/E cycles expressed as a fraction of rated endurance."""

@@ -7,13 +7,15 @@ from .architecture import (CachePolicy, CpuMode, SsdArchitecture,
 from .device import DataPathMode, SsdDevice
 from .energy import DEFAULT_ENERGY, EnergyModel
 from .ftl_device import FtlSsdDevice
-from .metrics import RunResult, collect_utilizations, run_workload
+from .metrics import (RunResult, collect_reliability, collect_utilizations,
+                      run_workload)
 from .scenarios import BreakdownRow, breakdown, host_ideal_mbps, measure
 
 __all__ = [
     "BreakdownRow", "CachePolicy", "CpuMode", "DEFAULT_ENERGY",
     "DataPathMode", "EnergyModel", "FtlSsdDevice", "RunResult",
     "SsdArchitecture", "SsdDevice",
-    "breakdown", "collect_utilizations", "from_config", "host_ideal_mbps",
+    "breakdown", "collect_reliability", "collect_utilizations",
+    "from_config", "host_ideal_mbps",
     "measure", "parse_geometry_label", "run_workload",
 ]

@@ -19,6 +19,7 @@ from ..compression import CompressorModel, CompressorPlacement
 from ..controller import GangScheme
 from ..dram.timing import Ddr2Timing
 from ..ecc import AdaptiveBch, EccScheme, FixedBch
+from ..faults import FaultConfig
 from ..ftl import WafModel
 from ..host.interface import (HostInterfaceSpec, pcie_nvme_spec, sata2_spec)
 from ..nand.geometry import NandGeometry
@@ -70,6 +71,8 @@ class SsdArchitecture:
     initial_pe_cycles: int = 0
     buffer_capacity_bytes: int = 1 << 20   # write-cache share per buffer
     dram_refresh: bool = True
+    #: Fault-injection campaign; disabled by default (zero overhead).
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         for name in ("n_channels", "n_ways", "dies_per_way", "n_ddr_buffers",
@@ -102,6 +105,9 @@ class SsdArchitecture:
 
     def with_cache_policy(self, policy: CachePolicy) -> "SsdArchitecture":
         return replace(self, cache_policy=policy)
+
+    def with_faults(self, faults: FaultConfig) -> "SsdArchitecture":
+        return replace(self, faults=faults)
 
     def scaled(self, **overrides: Any) -> "SsdArchitecture":
         """Convenience wrapper around :func:`dataclasses.replace`."""
@@ -156,6 +162,14 @@ def from_config(config: Dict[str, Any],
         cpu.cores           = 1
         ftl.random_waf      = 3.0
         nand.initial_pe     = 0
+        faults.enabled      = true
+        faults.seed         = 1234
+        faults.rber_scale   = 1.0
+        faults.program_fail_prob = 0.001
+        faults.erase_fail_prob   = 0.001
+        faults.stuck_busy_prob   = 0.0
+        faults.factory_bad_prob  = 0.0
+        faults.read_retry_max    = 4
     """
     arch = base or SsdArchitecture()
     overrides: Dict[str, Any] = {}
@@ -216,5 +230,21 @@ def from_config(config: Dict[str, Any],
             random_waf=float(config["ftl.random_waf"]))
     if "nand.initial_pe" in config:
         overrides["initial_pe_cycles"] = int(config["nand.initial_pe"])
+
+    if any(key.startswith("faults.") for key in config):
+        fault_overrides: Dict[str, Any] = {}
+        for key, caster in (("enabled", bool), ("seed", int),
+                            ("rber_scale", float),
+                            ("program_fail_prob", float),
+                            ("erase_fail_prob", float),
+                            ("stuck_busy_prob", float),
+                            ("factory_bad_prob", float),
+                            ("read_retry_max", int),
+                            ("spare_blocks_per_plane", int),
+                            ("max_remap_attempts", int)):
+            config_key = f"faults.{key}"
+            if config_key in config:
+                fault_overrides[key] = caster(config[config_key])
+        overrides["faults"] = replace(arch.faults, **fault_overrides)
 
     return arch.scaled(**overrides) if overrides else arch

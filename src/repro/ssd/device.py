@@ -28,7 +28,9 @@ from ..compression import CompressorPlacement
 from ..controller import ChannelWayController
 from ..cpu.firmware import AbstractCpu, FirmwareCpu
 from ..dram import BufferManager
-from ..host import HostInterface, IoCommand, IoOpcode
+from ..faults import (FaultPlan, ProgramFailError, SparePoolExhausted,
+                      UncorrectableReadError, WriteFaultError)
+from ..host import HostInterface, IoCommand, IoOpcode, IoStatus
 from ..interconnect import AhbBus
 from ..kernel import Component, Resource, Simulator
 from ..kernel.tracing import trace, trace_enabled
@@ -105,8 +107,21 @@ class SsdDevice(Component):
         self._gc_die = 0
 
         self.commands_completed = 0
+        self.commands_failed = 0
         self.bytes_completed = 0
         self.last_completion_ps = 0
+
+        # Fault-injection campaign: one deterministic plan shared by every
+        # die so draws depend only on (seed, die, address) — never on
+        # scheduling — plus per-die spare-block pools backing retirement.
+        self.fault_plan: Optional[FaultPlan] = None
+        self._spares: Dict[Tuple[int, int, int], int] = {}
+        if arch.faults.enabled:
+            self.fault_plan = FaultPlan(arch.faults, seed_material=arch.label)
+            for channel in self.channels:
+                for way_dies in channel.dies:
+                    for die in way_dies:
+                        die.set_fault_plan(self.fault_plan)
 
     # ------------------------------------------------------------------
     # Placement
@@ -130,6 +145,8 @@ class SsdDevice(Component):
         """
         geometry = self.arch.geometry
         cursor = self._die_cursor.get(target, 0)
+        if self.fault_plan is not None:
+            cursor = self._skip_bad_blocks(target, cursor)
         self._die_cursor[target] = (cursor + 1) % geometry.pages_per_die
         address = geometry.address_of(cursor)
         if address.page == 0:
@@ -138,6 +155,43 @@ class SsdDevice(Component):
             if die.write_pointer(address.plane, address.block) != 0:
                 die.preload_block(address.plane, address.block, 0)
         return address
+
+    def _skip_bad_blocks(self, target: Tuple[int, int, int],
+                         cursor: int) -> int:
+        """Advance an allocation cursor past retired / factory-bad blocks."""
+        geometry = self.arch.geometry
+        channel, way, die_index = target
+        die = self.channels[channel].die(way, die_index)
+        for __ in range(geometry.blocks_per_die):
+            address = geometry.address_of(cursor)
+            if not die.is_bad_block(address.plane, address.block):
+                return cursor
+            block_linear = cursor // geometry.pages_per_block
+            cursor = ((block_linear + 1) % geometry.blocks_per_die) \
+                * geometry.pages_per_block
+        raise SparePoolExhausted(
+            f"die {target} has no usable blocks left")
+
+    def _retire_block(self, target: Tuple[int, int, int], plane: int,
+                      block: int) -> None:
+        """Grown bad block: mark it on the die and charge the spare pool."""
+        channel, way, die_index = target
+        self.channels[channel].die(way, die_index).mark_bad(plane, block)
+        self._note_grown_bad(target)
+
+    def _note_grown_bad(self, target: Tuple[int, int, int]) -> None:
+        """Account one grown bad block against the die's spare pool."""
+        spares = self._spares.get(target)
+        if spares is None:
+            spares = (self.arch.faults.spare_blocks_per_plane
+                      * self.arch.geometry.planes_per_die)
+        spares -= 1
+        self._spares[target] = spares
+        self.stats.counter("retired_blocks").increment()
+        if spares < 0:
+            raise SparePoolExhausted(
+                f"die {target} exhausted its spare pool "
+                f"({self.arch.faults.spare_blocks_per_plane} blocks/plane)")
 
     def _next_read_page(self, target: Tuple[int, int, int]) -> PageAddress:
         """Sequential read addressing, independent of the write cursor."""
@@ -184,8 +238,10 @@ class SsdDevice(Component):
                     > self.buffers.capacity_bytes):
                 continue
             self.buffers._occupancy[buffer_index] += page_bytes
-            self.sim.process(self._flush(placement, buffer_index,
-                                         page_bytes, pattern))
+            flush = self._flush(placement, buffer_index, page_bytes, pattern)
+            if self.fault_plan is not None:
+                flush = self._guard_background_flush(flush)
+            self.sim.process(flush)
             filled += 1
 
     def preload_for_reads(self) -> None:
@@ -259,13 +315,34 @@ class SsdDevice(Component):
         wait_for_flash = (self.mode is DataPathMode.DDR_FLASH
                           or self.arch.cache_policy is CachePolicy.NO_CACHING)
         if wait_for_flash:
-            yield sim.process(self._flush(placement, buffer_index, nbytes,
-                                          pattern, command=command))
+            if self.fault_plan is not None:
+                try:
+                    yield sim.process(self._flush(placement, buffer_index,
+                                                  nbytes, pattern,
+                                                  command=command))
+                except (WriteFaultError, SparePoolExhausted):
+                    self._fail(command, IoStatus.WRITE_FAILED)
+                    return
+            else:
+                yield sim.process(self._flush(placement, buffer_index, nbytes,
+                                              pattern, command=command))
             self._complete(command)
         else:
             self._complete(command)
-            sim.process(self._flush(placement, buffer_index, nbytes,
-                                    pattern, command=command))
+            flush = self._flush(placement, buffer_index, nbytes,
+                                pattern, command=command)
+            if self.fault_plan is not None:
+                # The host already saw success (volatile write cache); a
+                # late write fault can only be counted, as on real drives.
+                flush = self._guard_background_flush(flush)
+            sim.process(flush)
+
+    def _guard_background_flush(self, flush):
+        """Absorb write faults from an already-acknowledged cached write."""
+        try:
+            yield from flush
+        except (WriteFaultError, SparePoolExhausted):
+            self.stats.counter("background_write_faults").increment()
 
     def _flush(self, placement: Tuple[int, int, int], buffer_index: int,
                nbytes: int, pattern: str, command=None):
@@ -294,6 +371,9 @@ class SsdDevice(Component):
                 nbytes=page_bytes))
             # ...then the controller encodes, transfers and programs it;
             # allocation + program are atomic per die.
+            if self.fault_plan is not None:
+                yield from self._program_with_remap(controller, target)
+                return
             __, way, die_index = target
             order = self._write_lock(target)
             grant = order.acquire()
@@ -308,18 +388,55 @@ class SsdDevice(Component):
         # A multi-page command stripes its pages over the channel's dies
         # in parallel (the target rotates per channel, decoupled from
         # command striping).
-        handles = [sim.process(page_job(self._program_target(channel_index)))
-                   for __ in range(pages)]
-        if handles:
-            yield sim.all_of(handles)
-        # The WAF model's GC share blocks this flush (Hu et al.: the FTL's
-        # "blocking time"), so write cache space stays held until the
-        # amplified traffic has been served.
-        relocations, erases = self._gc_quota(pattern, pages)
-        if relocations or erases:
-            yield sim.process(self._gc_work(placement[0], relocations,
-                                            erases))
-        self.buffers.release(buffer_index, nbytes)
+        try:
+            handles = [sim.process(
+                page_job(self._program_target(channel_index)))
+                for __ in range(pages)]
+            if handles:
+                yield sim.all_of(handles)
+            # The WAF model's GC share blocks this flush (Hu et al.: the
+            # FTL's "blocking time"), so write cache space stays held until
+            # the amplified traffic has been served.
+            relocations, erases = self._gc_quota(pattern, pages)
+            if relocations or erases:
+                yield sim.process(self._gc_work(placement[0], relocations,
+                                                erases))
+        finally:
+            # Cache space must come back even when the drain faults, or a
+            # failed write would leak buffer capacity forever.
+            self.buffers.release(buffer_index, nbytes)
+
+    def _program_with_remap(self, controller: ChannelWayController,
+                            target: Tuple[int, int, int]):
+        """Allocate + program one page, remapping around program failures.
+
+        A program-status failure retires the block (grown bad) and retries
+        in a freshly allocated block, up to ``faults.max_remap_attempts``;
+        past that the write surfaces as a :class:`WriteFaultError`.
+        """
+        sim = self.sim
+        __, way, die_index = target
+        order = self._write_lock(target)
+        grant = order.acquire()
+        yield grant
+        try:
+            attempts = 0
+            while True:
+                address = self._next_page(target)
+                try:
+                    yield sim.process(
+                        controller.program_page(way, die_index, address))
+                    return
+                except ProgramFailError:
+                    self._retire_block(target, address.plane, address.block)
+                    self.stats.counter("remapped_programs").increment()
+                    attempts += 1
+                    if attempts > self.arch.faults.max_remap_attempts:
+                        raise WriteFaultError(
+                            f"page program on die {target} failed after "
+                            f"{attempts} remap attempts") from None
+        finally:
+            order.release(grant)
 
     # -- read -----------------------------------------------------------
     def _read_flow(self, command: IoCommand):
@@ -338,7 +455,14 @@ class SsdDevice(Component):
         buffer_index = self.buffers.buffer_for_channel(channel_index)
         for __ in range(pages):
             address = self._next_read_page(placement)
-            yield sim.process(controller.read_page(way, die_index, address))
+            try:
+                yield sim.process(controller.read_page(way, die_index,
+                                                       address))
+            except UncorrectableReadError:
+                # Retry ladder exhausted: the command completes with a
+                # media error status, no data crosses the host link.
+                self._fail(command, IoStatus.UNCORRECTABLE)
+                return
             yield sim.process(controller.ppdma.execute(
                 self.buffers.write(buffer_index, page_bytes),
                 nbytes=page_bytes))
@@ -393,6 +517,18 @@ class SsdDevice(Component):
             # Relocation: read a page from a retired block, rewrite it at
             # the allocation cursor.
             source = self._behind_address(target, page_offset=self._gc_die)
+            if self.fault_plan is not None:
+                try:
+                    yield sim.process(controller.read_page(way, die_index,
+                                                           source))
+                except UncorrectableReadError:
+                    # The victim page is lost; count it and move on so one
+                    # worn-out page cannot wedge the whole GC pipeline.
+                    controller.stats.counter("gc_read_faults").increment()
+                    continue
+                yield from self._program_with_remap(controller, target)
+                controller.stats.counter("gc_relocations").increment()
+                continue
             yield sim.process(controller.read_page(way, die_index, source))
             order = self._write_lock(target)
             grant = order.acquire()
@@ -413,9 +549,25 @@ class SsdDevice(Component):
             yield sim.process(controller.erase_block(way, die_index,
                                                      victim.plane,
                                                      victim.block))
+            if self.fault_plan is not None and die.last_erase_failed:
+                # Erase failure grew a bad block (the die marked it); the
+                # spare pool absorbs it instead of the free pool.
+                self._note_grown_bad((channel_index, way, die_index))
+                continue
             die.preload_block(victim.plane, victim.block, 0)
 
     # ------------------------------------------------------------------
+    def _fail(self, command: IoCommand, status: IoStatus) -> None:
+        """Complete a command with an error status (never crash the sim)."""
+        if trace_enabled():
+            trace(self.sim.now, self.path(), "fail",
+                  f"{command} -> {status.value}")
+        command.status = status
+        command.complete_time_ps = self.sim.now
+        self.commands_failed += 1
+        self.last_completion_ps = self.sim.now
+        self.stats.counter("failed_commands").increment()
+
     def _complete(self, command: IoCommand, count_bytes: bool = True) -> None:
         if trace_enabled():
             trace(self.sim.now, self.path(), "complete", str(command))

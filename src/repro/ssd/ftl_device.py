@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..faults import ProgramFailError, UncorrectableReadError
 from ..ftl.pagemap import JournalingBackend, PageMapFtl
 from ..host import IoCommand
 from ..kernel import Resource, Simulator
@@ -108,14 +109,37 @@ class FtlSsdDevice(SsdDevice):
         lock = self._replay_lock(die_id)
         grant = lock.acquire()
         yield grant
+        faulty = self.fault_plan is not None
         try:
             for kind, location in group:
                 if kind == "program":
                     __, plane, block, page = location
+                    if faulty:
+                        # The FTL's map already points at this physical
+                        # page; the journaling backend cannot remap after
+                        # the fact, so a program failure is absorbed and
+                        # counted (the data stays where the map says).
+                        try:
+                            yield sim.process(controller.program_page(
+                                way, die_index,
+                                PageAddress(plane, block, page)))
+                        except ProgramFailError:
+                            controller.stats.counter(
+                                "ftl_program_faults").increment()
+                        continue
                     yield sim.process(controller.program_page(
                         way, die_index, PageAddress(plane, block, page)))
                 elif kind == "read":
                     __, plane, block, page = location
+                    if faulty:
+                        try:
+                            yield sim.process(controller.read_page(
+                                way, die_index,
+                                PageAddress(plane, block, page)))
+                        except UncorrectableReadError:
+                            controller.stats.counter(
+                                "ftl_read_faults").increment()
+                        continue
                     yield sim.process(controller.read_page(
                         way, die_index, PageAddress(plane, block, page)))
                 elif kind == "erase":
@@ -146,22 +170,24 @@ class FtlSsdDevice(SsdDevice):
         else:
             lpn = self._warm_lpn
             self._warm_lpn = (self._warm_lpn + pages) % self.ftl.logical_pages
-        for offset in range(pages):
-            # The FTL decides placement first (instantaneous metadata).
-            # The replay process is spawned *immediately* so its per-die
-            # lock acquisitions enqueue in FTL order — a later command
-            # must not overtake this one on the same die.  The PP-DMA
-            # pull from DRAM proceeds concurrently.
-            self.ftl.write((lpn + offset) % self.ftl.logical_pages)
-            entries = self.backend.drain()
-            host_die = entries[0][1][0]
-            channel_index, __, __ = self.die_coordinates(host_die)
-            replay = sim.process(self._replay(entries))
-            pull = sim.process(self.channels[channel_index].ppdma.execute(
-                self.buffers.read(buffer_index, page_bytes),
-                nbytes=page_bytes))
-            yield sim.all_of([replay, pull])
-        self.buffers.release(buffer_index, nbytes)
+        try:
+            for offset in range(pages):
+                # The FTL decides placement first (instantaneous metadata).
+                # The replay process is spawned *immediately* so its per-die
+                # lock acquisitions enqueue in FTL order — a later command
+                # must not overtake this one on the same die.  The PP-DMA
+                # pull from DRAM proceeds concurrently.
+                self.ftl.write((lpn + offset) % self.ftl.logical_pages)
+                entries = self.backend.drain()
+                host_die = entries[0][1][0]
+                channel_index, __, __ = self.die_coordinates(host_die)
+                replay = sim.process(self._replay(entries))
+                pull = sim.process(self.channels[channel_index].ppdma.execute(
+                    self.buffers.read(buffer_index, page_bytes),
+                    nbytes=page_bytes))
+                yield sim.all_of([replay, pull])
+        finally:
+            self.buffers.release(buffer_index, nbytes)
 
     def _read_flow(self, command: IoCommand):
         sim = self.sim

@@ -38,6 +38,14 @@ class RunResult:
     wall_seconds: float
     events: int
     utilizations: Dict[str, float]
+    #: Reliability outcomes (all zero on a fault-free run).
+    failed_commands: int = 0
+    uber: float = 0.0
+    read_retries: int = 0
+    retries_per_read: float = 0.0
+    uncorrectable_reads: int = 0
+    retired_blocks: int = 0
+    remapped_programs: int = 0
 
     def __str__(self) -> str:
         return (f"{self.label}: {self.throughput_mbps:8.1f} MB/s  "
@@ -64,6 +72,15 @@ class RunResult:
             "wall_seconds": self.wall_seconds,
             "events": self.events,
             "utilizations": dict(self.utilizations),
+            "reliability": {
+                "failed_commands": self.failed_commands,
+                "uber": self.uber,
+                "read_retries": self.read_retries,
+                "retries_per_read": self.retries_per_read,
+                "uncorrectable_reads": self.uncorrectable_reads,
+                "retired_blocks": self.retired_blocks,
+                "remapped_programs": self.remapped_programs,
+            },
         }
 
 
@@ -161,6 +178,7 @@ def run_workload(sim: Simulator, device: SsdDevice, workload: Workload,
         wall_seconds=sim.wall_seconds - wall_before,
         events=sim.events_processed - events_before,
         utilizations=collect_utilizations(device),
+        **collect_reliability(device),
     )
 
 
@@ -194,6 +212,33 @@ def _sustained_mbps(completions, warmup_fraction: float = 0.5) -> float:
     if span <= 0:
         return 0.0
     return window_bytes / 1e6 / (span / 1e12)
+
+
+def collect_reliability(device: SsdDevice) -> Dict[str, object]:
+    """Aggregate fault/recovery outcomes across the device hierarchy.
+
+    UBER approximates the JEDEC definition at page granularity: each
+    uncorrectable page read counts its full payload as bad bits against
+    the total bits read.  Deterministic by construction: every term is a
+    pure function of the fault plan's seeded draws.
+    """
+    def channel_sum(name: str) -> int:
+        return sum(c.stats.counter(name).value for c in device.channels)
+
+    reads = channel_sum("reads")
+    retries = channel_sum("read_retries")
+    uncorrectable = channel_sum("uncorrectable_reads")
+    page_bits = device.arch.geometry.page_bytes * 8
+    bits_read = reads * page_bits
+    return {
+        "failed_commands": device.commands_failed,
+        "uber": (uncorrectable * page_bits / bits_read) if bits_read else 0.0,
+        "read_retries": retries,
+        "retries_per_read": (retries / reads) if reads else 0.0,
+        "uncorrectable_reads": uncorrectable,
+        "retired_blocks": device.stats.counter("retired_blocks").value,
+        "remapped_programs": device.stats.counter("remapped_programs").value,
+    }
 
 
 def collect_utilizations(device: SsdDevice) -> Dict[str, float]:

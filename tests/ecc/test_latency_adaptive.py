@@ -1,10 +1,13 @@
 """Tests for the ECC latency models and fixed/adaptive schemes."""
 
+import warnings
+
 import pytest
 
 from repro.ecc import (AdaptiveBch, BchLatencyModel, CorrectionTable,
                        FixedBch, default_schemes)
 from repro.nand import WearModel
+from repro.nand.wear import EnduranceWarning
 
 
 class TestLatencyModel:
@@ -60,9 +63,22 @@ class TestCorrectionTable:
         assert table.lookup(1001) == 16
         assert table.lookup(2500) == 40
 
-    def test_lookup_beyond_table_end(self):
+    def test_lookup_beyond_table_end_clamps_and_warns_once(self):
         table = CorrectionTable(((1000, 8), (3000, 40)))
-        assert table.lookup(10_000) == 40
+        with pytest.warns(EnduranceWarning):
+            assert table.lookup(10_000) == 40
+        # Warn-once: subsequent clamped lookups stay silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert table.lookup(10_000) == 40
+
+    def test_lookup_within_slack_is_silent(self):
+        """GC drift a few cycles past rated must not warn (the fast CI
+        tier escalates repro warnings to errors)."""
+        table = CorrectionTable(((1000, 8), (3000, 40)))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert table.lookup(3010) == 40
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,173 @@
+"""Tests for the deterministic fault plan and its config."""
+
+import pytest
+
+from repro.faults import FaultConfig, FaultPlan, poisson_draw
+from repro.nand import PageAddress
+
+
+def enabled_config(**overrides):
+    defaults = dict(enabled=True, seed=7, program_fail_prob=0.1,
+                    erase_fail_prob=0.1, stuck_busy_prob=0.1,
+                    factory_bad_prob=0.1)
+    defaults.update(overrides)
+    return FaultConfig(**defaults)
+
+
+class TestFaultConfig:
+    def test_disabled_by_default(self):
+        assert not FaultConfig().enabled
+
+    def test_probability_validation(self):
+        for knob in ("program_fail_prob", "erase_fail_prob",
+                     "stuck_busy_prob", "factory_bad_prob"):
+            with pytest.raises(ValueError):
+                FaultConfig(**{knob: 1.5})
+            with pytest.raises(ValueError):
+                FaultConfig(**{knob: -0.1})
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(rber_scale=-1.0)
+        with pytest.raises(ValueError):
+            FaultConfig(retry_rber_scale=0.0)
+        with pytest.raises(ValueError):
+            FaultConfig(retry_rber_scale=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(read_retry_max=-1)
+        with pytest.raises(ValueError):
+            FaultConfig(stuck_busy_extra_ps=-1)
+        with pytest.raises(ValueError):
+            FaultConfig(spare_blocks_per_plane=-1)
+        with pytest.raises(ValueError):
+            FaultConfig(max_remap_attempts=0)
+
+    def test_plan_rejects_disabled_config(self):
+        with pytest.raises(ValueError):
+            FaultPlan(FaultConfig(enabled=False))
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        draws_a = [FaultPlan(enabled_config()).program_fails("d0", 0, b, 0)
+                   for b in range(64)]
+        draws_b = [FaultPlan(enabled_config()).program_fails("d0", 0, b, 0)
+                   for b in range(64)]
+        assert draws_a == draws_b
+
+    def test_different_seed_different_schedule(self):
+        plan_a = FaultPlan(enabled_config(seed=1))
+        plan_b = FaultPlan(enabled_config(seed=2))
+        draws_a = [plan_a.program_fails("d0", 0, b, 0) for b in range(256)]
+        draws_b = [plan_b.program_fails("d0", 0, b, 0) for b in range(256)]
+        assert draws_a != draws_b
+
+    def test_seed_material_decorrelates_devices(self):
+        plan_a = FaultPlan(enabled_config(), seed_material="dev-a")
+        plan_b = FaultPlan(enabled_config(), seed_material="dev-b")
+        draws_a = [plan_a.erase_fails("d0", 0, b) for b in range(256)]
+        draws_b = [plan_b.erase_fails("d0", 0, b) for b in range(256)]
+        assert draws_a != draws_b
+
+    def test_call_order_independence(self):
+        """The property the workers=1 vs workers=4 contract rests on: a
+        draw depends only on its own key history, not on interleaving
+        with draws for other dies."""
+        keys = [("d0", 0, 3, 0), ("d1", 0, 9, 2), ("d0", 0, 3, 1)]
+        forward = FaultPlan(enabled_config())
+        backward = FaultPlan(enabled_config())
+        got_forward = {key: forward.program_fails(*key) for key in keys}
+        got_backward = {key: backward.program_fails(*key)
+                        for key in reversed(keys)}
+        assert got_forward == got_backward
+
+    def test_per_key_counter_redraws(self):
+        """The Nth program of a page draws fresh, not memoized."""
+        plan = FaultPlan(enabled_config(program_fail_prob=0.5))
+        draws = [plan.program_fails("d0", 0, 0, 0) for __ in range(64)]
+        assert True in draws and False in draws
+
+    def test_factory_bad_is_static(self):
+        plan = FaultPlan(enabled_config(factory_bad_prob=0.5))
+        first = [plan.factory_bad("d0", 0, b) for b in range(64)]
+        again = [plan.factory_bad("d0", 0, b) for b in range(64)]
+        assert first == again
+        assert True in first and False in first
+
+    def test_zero_probability_short_circuits(self):
+        plan = FaultPlan(FaultConfig(enabled=True, seed=3))
+        assert not plan.program_fails("d0", 0, 0, 0)
+        assert not plan.erase_fails("d0", 0, 0)
+        assert not plan.factory_bad("d0", 0, 0)
+        assert plan.stuck_busy_ps("d0", "read", 0, 0) == 0
+
+
+class TestReadBitErrors:
+    ADDRESS = PageAddress(0, 0, 0)
+
+    def draw_mean(self, plan, rber, attempt=0, samples=200):
+        total = 0
+        for block in range(samples):
+            address = PageAddress(0, block % 64, block // 64)
+            total += plan.read_bit_errors("d0", address, rber, 8192, 1,
+                                          attempt)
+        return total / samples
+
+    def test_zero_rber_zero_errors(self):
+        plan = FaultPlan(enabled_config())
+        assert plan.read_bit_errors("d0", self.ADDRESS, 0.0, 8192, 4) == 0
+
+    def test_bit_errors_disabled(self):
+        plan = FaultPlan(enabled_config(bit_errors=False))
+        assert plan.read_bit_errors("d0", self.ADDRESS, 0.1, 8192, 4) == 0
+
+    def test_mean_tracks_rber(self):
+        plan = FaultPlan(enabled_config())
+        low = self.draw_mean(plan, 1e-4)
+        high = self.draw_mean(FaultPlan(enabled_config()), 4e-3)
+        assert low < high
+        assert high == pytest.approx(4e-3 * 8192, rel=0.2)
+
+    def test_retry_attempt_reduces_errors(self):
+        """Each retry rung re-draws at the ladder's reduced RBER."""
+        first = self.draw_mean(FaultPlan(enabled_config()), 4e-3, attempt=0)
+        retry = self.draw_mean(FaultPlan(enabled_config()), 4e-3, attempt=1)
+        assert retry < first
+        assert retry == pytest.approx(first * 0.5, rel=0.25)
+
+    def test_worst_of_codewords(self):
+        plan_one = FaultPlan(enabled_config())
+        plan_many = FaultPlan(enabled_config())
+        one = sum(plan_one.read_bit_errors(
+            "d0", PageAddress(0, b, 0), 1e-3, 8192, 1) for b in range(64))
+        many = sum(plan_many.read_bit_errors(
+            "d0", PageAddress(0, b, 0), 1e-3, 8192, 8) for b in range(64))
+        assert many > one
+
+    def test_rber_scale_multiplies(self):
+        base = self.draw_mean(FaultPlan(enabled_config()), 1e-3)
+        scaled = self.draw_mean(
+            FaultPlan(enabled_config(rber_scale=4.0)), 1e-3)
+        assert scaled == pytest.approx(base * 4, rel=0.25)
+
+
+class TestPoissonDraw:
+    def test_zero_mean(self):
+        assert poisson_draw(0.5, 0.0) == 0
+        assert poisson_draw(0.5, -1.0) == 0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            poisson_draw(1.0, 5.0)
+        with pytest.raises(ValueError):
+            poisson_draw(-0.01, 5.0)
+
+    def test_low_quantile_zero(self):
+        assert poisson_draw(0.0, 3.0) == 0
+
+    def test_monotone_in_quantile(self):
+        draws = [poisson_draw(u / 100, 10.0) for u in range(100)]
+        assert draws == sorted(draws)
+
+    def test_median_near_mean(self):
+        assert poisson_draw(0.5, 100.0) == pytest.approx(100, abs=5)

@@ -1,10 +1,12 @@
 """Tests for MLC timing variation and the wear/RBER model."""
 
+import warnings
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.kernel.simtime import ms, us
-from repro.nand import MlcTimingModel, WearModel
+from repro.nand import EnduranceWarning, MlcTimingModel, WearModel
 from repro.nand.timing import _block_jitter
 
 
@@ -120,12 +122,40 @@ class TestWearModel:
         with pytest.raises(ValueError):
             WearModel().required_correction(0, 0)
 
+    def test_rber_clamped_beyond_rated(self):
+        """Past rated endurance the RBER clamps at end-of-life instead of
+        extrapolating the power law (no characterization data there)."""
+        wear = WearModel()
+        end_of_life = wear.rber(wear.rated_endurance)
+        with pytest.warns(EnduranceWarning):
+            assert wear.rber(2 * wear.rated_endurance) == end_of_life
+
+    def test_endurance_warning_fires_once_per_instance(self):
+        wear = WearModel()
+        with pytest.warns(EnduranceWarning):
+            wear.rber(5000)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EnduranceWarning)
+            wear.rber(6000)  # second query past rated: no second warning
+
+    def test_slack_queries_stay_silent(self):
+        """GC drift a few cycles past rated is normal, not a warning."""
+        wear = WearModel()
+        slack_pe = int(wear.rated_endurance * 1.04)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EnduranceWarning)
+            assert wear.rber(slack_pe) == wear.rber(wear.rated_endurance)
+
     @given(st.integers(min_value=0, max_value=6000),
            st.integers(min_value=0, max_value=6000))
     def test_rber_monotone_property(self, a, b):
         wear = WearModel()
         low, high = sorted((a, b))
-        assert wear.rber(low) <= wear.rber(high)
+        with warnings.catch_warnings():
+            # Queries past rated endurance clamp (and warn); monotonicity
+            # must hold across the clamp boundary regardless.
+            warnings.simplefilter("ignore", EnduranceWarning)
+            assert wear.rber(low) <= wear.rber(high)
 
 
 class TestBlockWearState:
