@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench sweep faults
+.PHONY: test test-fast bench sweep faults profile
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -22,6 +22,14 @@ faults:
 	$(PYTHON) -m repro faults --json --workers 4 > /tmp/repro-faults-b.json
 	cmp /tmp/repro-faults-a.json /tmp/repro-faults-b.json
 	@echo "faults campaign deterministic across worker counts"
+
+# Observability smoke: run a tiny profiled workload, export a Chrome
+# trace and validate it against the trace_event format rules.
+profile:
+	$(PYTHON) -m repro profile --workload SR --commands 120 \
+		--trace-out /tmp/repro-profile-trace.json
+	$(PYTHON) tools/validate_trace.py /tmp/repro-profile-trace.json
+	@echo "profile smoke OK (trace validates)"
 
 # Sweep-engine benchmark: serial vs parallel vs warm-cache Fig. 3 sweep;
 # refreshes BENCH_sweep.json at the repo root.  Knobs:

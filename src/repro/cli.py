@@ -10,6 +10,7 @@ Usage::
     python -m repro fig6                     # Fig. 6
     python -m repro faults --seed 1234       # fault-injection campaign
     python -m repro run --config ssd.cfg --workload SW --commands 1000
+    python -m repro profile --workload SR --trace-out trace.json
     python -m repro explore --configs C1,C2,C6,C8
     python -m repro report --out report.md   # everything, as markdown
 
@@ -28,7 +29,7 @@ from .core import (DesignSpaceExplorer, ResourceCostModel, SweepPoint,
                    SweepRunner, TABLE2_LABELS, faults_campaign, fig3_sweep,
                    fig4_sweep,
                    fig5_wearout_sweep, kernel_speed_report, print_progress,
-                   render_breakdown_table, render_report,
+                   render_breakdown_table, render_json, render_report,
                    render_series_table, render_speed_table, render_table,
                    render_validation_table, run_validation, speed_sweep,
                    table2_configs, table3_configs,
@@ -153,7 +154,6 @@ def cmd_faults(args: argparse.Namespace) -> int:
     failures = (runner.last_result.failures()
                 if runner.last_result is not None else [])
     if args.json:
-        import json
         document = {
             "seed": args.seed,
             "commands": args.commands,
@@ -164,7 +164,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
                  "message": outcome.failure.message}
                 for outcome in failures],
         }
-        print(json.dumps(document, indent=2, sort_keys=True))
+        print(render_json(document))
         return 1 if failures else 0
     header = (f"{'point':<20} {'MB/s':>7} {'retries':>8} {'ret/read':>9} "
               f"{'uncorr':>7} {'retired':>8} {'remaps':>7} {'failed':>7} "
@@ -219,12 +219,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 1
     payload = outcome.payload
     if args.json:
-        import json
         payload = dict(payload)
         payload["architecture"] = arch.label
         payload["host"] = arch.host.name
         payload["cached"] = outcome.cached
-        print(json.dumps(payload, indent=2))
+        print(render_json(payload))
         return 0
     latency = payload["latency_us"]
     print(f"architecture : {arch.label}")
@@ -241,6 +240,57 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"utilization  : {name:<10} {value:6.1%}")
     if outcome.cached:
         print("(result served from the sweep cache)")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one workload with span observability on and print where the
+    time went (per-stage breakdown, component activity, bottleneck
+    report, per-channel utilization sparklines)."""
+    from .obs import (disable_observability, enable_observability,
+                      render_profile, write_chrome_trace)
+    from .ssd.metrics import collect_utilization_timelines
+    from .ssd.scenarios import measure_with_device
+    if args.config:
+        arch = from_config(load_file(args.config))
+    else:
+        arch = SsdArchitecture()
+    factory = IOZONE_SUITE.get(args.workload.upper())
+    if factory is None:
+        raise SystemExit(f"unknown workload {args.workload!r}; "
+                         f"choose from {sorted(IOZONE_SUITE)}")
+    workload = factory(4096 * args.commands, block_bytes=args.block)
+    label = f"{arch.label}/{args.workload.upper()}"
+    recorder = enable_observability()
+    try:
+        result, device = measure_with_device(
+            arch, workload, max_commands=args.commands, label=label,
+            warm_start=args.warm)
+        timelines = collect_utilization_timelines(device,
+                                                  buckets=args.buckets)
+    finally:
+        disable_observability()
+    if args.json:
+        print(render_json({
+            "label": label,
+            "commands": recorder.commands_completed,
+            "sustained_mbps": result.sustained_mbps,
+            "stage_breakdown": result.stage_breakdown,
+            "component_breakdown": recorder.component_breakdown(),
+            "busiest_tracks": recorder.busiest_tracks(args.top),
+            "timelines": timelines,
+        }))
+    else:
+        print(f"architecture : {arch.label}")
+        print(f"workload     : {args.workload.upper()} x {args.commands} "
+              f"({args.block} B blocks)")
+        print(f"throughput   : {result.sustained_mbps:.1f} MB/s sustained")
+        print()
+        print(render_profile(recorder, timelines, top_k=args.top))
+    if args.trace_out:
+        write_chrome_trace(recorder, args.trace_out)
+        print(f"chrome trace written to {args.trace_out} "
+              f"(load in ui.perfetto.dev or chrome://tracing)")
     return 0
 
 
@@ -351,6 +401,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the result as JSON")
     add_sweep_options(run)
     run.set_defaults(func=cmd_run)
+
+    profile = sub.add_parser(
+        "profile", help="run one workload with span observability on; "
+                        "print the latency breakdown and bottleneck "
+                        "report, optionally export a Chrome trace")
+    profile.add_argument("--config", type=str, default="",
+                         help="architecture config file (flat or JSON)")
+    profile.add_argument("--workload", type=str, default="SW",
+                         help="SW | SR | RW | RR")
+    profile.add_argument("--commands", type=int, default=400)
+    profile.add_argument("--block", type=int, default=4096)
+    profile.add_argument("--warm", action="store_true",
+                         help="warm-start the write cache")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows per breakdown table")
+    profile.add_argument("--buckets", type=int, default=60,
+                         help="timeline sparkline resolution")
+    profile.add_argument("--trace-out", type=str, default="",
+                         help="write a Chrome trace_event JSON here "
+                              "(Perfetto-loadable)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the breakdown as JSON")
+    profile.set_defaults(func=cmd_profile)
 
     report = sub.add_parser("report", help="run everything, emit markdown")
     report.add_argument("--commands", type=int, default=800)

@@ -28,6 +28,7 @@ from ..faults import ProgramFailError, UncorrectableReadError
 from ..kernel import Component, Resource, Simulator
 from ..kernel.tracing import trace, trace_enabled
 from ..kernel.simtime import Clock, ns
+from ..obs import spans as _obs
 from ..nand.die import NandDie
 from ..nand.geometry import NandGeometry, PageAddress
 from ..nand.onfi import OnfiTiming
@@ -120,8 +121,12 @@ class ChannelWayController(Component):
             if encode_ps:
                 engine = self.encoder.acquire()
                 yield engine
+                t0 = self.sim.now if _obs.enabled else -1
                 yield self.sim.timeout(encode_ps)
                 self.encoder.release(engine)
+                if t0 >= 0:
+                    _obs.record_span(self.path(), "ecc_encode", t0,
+                                     self.sim.now)
             # Wait for die ready (R/B#), then command + data-in on the
             # ONFI fabric (payload + spare).
             ready = self._die_locks[way][die_index].acquire()
@@ -150,7 +155,7 @@ class ChannelWayController(Component):
         return self.sim.now - start
 
     def read_page(self, way: int, die_index: int, address: PageAddress,
-                  errors_present: bool = True):
+                  errors_present: bool = True, span=None):
         """Generator: full read path for one page; returns elapsed ps.
 
         With fault injection enabled the drawn bit errors are compared
@@ -159,11 +164,19 @@ class ChannelWayController(Component):
         pays a full re-sense + transfer + decode), and a page that
         exhausts the ladder raises :class:`UncorrectableReadError` for
         the device layer to surface as a command error completion.
+
+        ``span`` is an optional :class:`~repro.obs.spans.CommandSpan`
+        carried by the host command this page belongs to: the read path
+        is serial per page, so stage marks placed here decompose the
+        command's latency into queue / bus_xfer / nand_busy / ecc_decode
+        segments (retry rungs fold into the same stages).
         """
         die = self.die(way, die_index)
         plan = die.fault_plan
         start = self.sim.now
         yield from self._translate()
+        if span is not None:
+            span.mark("cpu", self.sim.now)
 
         attempt = 0
         while True:
@@ -171,26 +184,44 @@ class ChannelWayController(Component):
             # busy, bus free).
             ready = self._die_locks[way][die_index].acquire()
             yield ready
+            if span is not None:
+                span.mark("queue", self.sim.now)
             try:
                 yield from self.buses.issue_command(way)
+                if span is not None:
+                    span.mark("bus_xfer", self.sim.now)
                 yield self.sim.process(die.read(address))
+                if span is not None:
+                    span.mark("nand_busy", self.sim.now)
             finally:
                 self._die_locks[way][die_index].release(ready)
 
             slot = self.sram.acquire()
             yield slot
+            if span is not None:
+                span.mark("queue", self.sim.now)
             try:
                 # Data-out, then decode; wear decides the decode effort.
                 yield from self.buses.transfer(way,
                                                self.geometry.raw_page_bytes)
+                if span is not None:
+                    span.mark("bus_xfer", self.sim.now)
                 pe = die.pe_cycles(address.plane, address.block)
                 decode_ps = self.ecc.decode_time_ps(self.geometry.page_bytes,
                                                     pe, errors_present)
                 if decode_ps:
                     engine = self.decoder.acquire()
                     yield engine
+                    if span is not None:
+                        span.mark("queue", self.sim.now)
+                    t0 = self.sim.now if _obs.enabled else -1
                     yield self.sim.timeout(decode_ps)
                     self.decoder.release(engine)
+                    if span is not None:
+                        span.mark("ecc_decode", self.sim.now)
+                    if t0 >= 0:
+                        _obs.record_span(self.path(), "ecc_decode", t0,
+                                         self.sim.now)
             finally:
                 self.sram.release(slot)
 

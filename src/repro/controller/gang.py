@@ -18,6 +18,7 @@ from typing import List
 
 from ..kernel import Component, Resource, Simulator
 from ..nand.onfi import OnfiChannel, OnfiTiming
+from ..obs import spans as _obs
 
 
 class GangScheme(enum.Enum):
@@ -63,9 +64,12 @@ class ChannelBuses(Component):
         else:
             grant = self._control.acquire()
             yield grant
+            t0 = self.sim.now if _obs.enabled else -1
             yield self.sim.timeout(self.timing.command_time()
                                    + self.timing.overhead_ps)
             self._control.release(grant)
+            if t0 >= 0:
+                _obs.record_span(self.path(), "gang_cmd", t0, self.sim.now)
             self.stats.counter("commands").increment()
 
     def transfer(self, way: int, nbytes: int):

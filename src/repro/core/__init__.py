@@ -8,9 +8,10 @@ Fig. 2, Fig. 6 and Table I respectively.
 
 from .experiments import (FAULT_CAMPAIGN_FRACTIONS, TABLE2_LABELS,
                           TABLE3_LABELS, faults_architecture,
-                          faults_campaign, fig3_sweep,
+                          faults_campaign, fig3_profile, fig3_sweep,
                           fig3_workload, fig4_sweep, fig5_architecture,
-                          fig5_wearout_sweep, table2_configs,
+                          fig5_profile, fig5_wearout_sweep, profile_point,
+                          table2_configs,
                           table3_configs, validation_config)
 from .explorer import (DesignPoint, DesignSpaceExplorer, ExplorationResult,
                        ResourceCostModel, generate_design_space)
@@ -20,8 +21,9 @@ from .kernelbench import (interface_speed, kernel_microbench,
 from .features import (CAPABILITY_CHECKS, FEATURE_MATRIX, PLATFORMS,
                        SIMULATION_SPEED, render_table,
                        verify_ssdexplorer_column)
-from .report import (render_breakdown_table, render_series_table,
-                     render_speed_table, render_validation_table)
+from .report import (render_breakdown_table, render_json,
+                     render_series_table, render_speed_table,
+                     render_validation_table)
 from .sensitivity import (SensitivityCurve, SensitivityPoint,
                           bottleneck_report, render_sensitivity_table,
                           sweep_parameter)
@@ -46,12 +48,13 @@ __all__ = [
     "render_sensitivity_table", "sweep_parameter",
     "FAULT_CAMPAIGN_FRACTIONS", "TABLE2_LABELS", "TABLE3_LABELS",
     "ValidationPoint", "faults_architecture", "faults_campaign",
-    "fig3_sweep",
-    "fig3_workload", "fig4_sweep", "fig5_architecture",
+    "fig3_profile", "fig3_sweep",
+    "fig3_workload", "fig4_sweep", "fig5_architecture", "fig5_profile",
     "fig5_wearout_sweep", "generate_design_space", "generate_report",
+    "profile_point",
     "interface_speed", "kernel_microbench", "kernel_speed_report",
     "measure_speed", "render_report", "write_report",
-    "render_breakdown_table",
+    "render_breakdown_table", "render_json",
     "render_series_table", "render_speed_table", "render_table",
     "render_validation_table", "run_validation", "speed_sweep",
     "table2_configs", "table3_configs", "validation_config",

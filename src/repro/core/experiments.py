@@ -17,7 +17,8 @@ from typing import Dict, List, Optional, Tuple
 from ..ecc import AdaptiveBch, FixedBch
 from ..host.interface import pcie_nvme_spec, sata2_spec
 from ..host.workload import (Workload, sequential_read, sequential_write)
-from ..ssd.architecture import SsdArchitecture, parse_geometry_label
+from ..ssd.architecture import (CachePolicy, SsdArchitecture,
+                                parse_geometry_label)
 from ..ssd.scenarios import BreakdownRow
 from .sweep import SweepPoint, SweepRunner
 
@@ -154,6 +155,74 @@ def fig5_wearout_sweep(fractions: Optional[List[float]] = None,
             continue
         series[key].append((fraction, outcome.payload["sustained_mbps"]))
     return series
+
+
+# ----------------------------------------------------------------------
+# Profiled single points (span observability on, in-process)
+# ----------------------------------------------------------------------
+def profile_point(arch: SsdArchitecture, workload: Workload,
+                  n_commands: Optional[int] = None,
+                  warm_start: bool = False, label: str = "",
+                  buckets: int = 60):
+    """Run one point with span observability enabled.
+
+    Unlike the sweep paths this always runs in-process — span recorders
+    are process-global and cannot cross the worker-pool boundary.
+    Returns ``(RunResult, SpanRecorder, timelines)``: the result carries
+    the per-stage breakdown, the recorder the raw spans (for Chrome-trace
+    export), and ``timelines`` the per-channel utilization series.
+    """
+    from ..obs import spans as _obs
+    from ..ssd.metrics import collect_utilization_timelines
+    from ..ssd.scenarios import measure_with_device
+    recorder = _obs.enable_observability()
+    try:
+        result, device = measure_with_device(
+            arch, workload, max_commands=n_commands, label=label,
+            warm_start=warm_start)
+        timelines = collect_utilization_timelines(device, buckets=buckets)
+    finally:
+        _obs.disable_observability()
+    return result, recorder, timelines
+
+
+def fig3_profile(config: str = "C1", n_commands: int = 400,
+                 buckets: int = 60):
+    """A profiled Fig. 3 cache-policy point: where its time actually goes.
+
+    The sweep reports one throughput number per bar; this runs the same
+    (architecture, workload) with spans on so the bar's height can be
+    explained — e.g. C1's saturation shows up as the ``flash_drain`` /
+    ``queue`` stages dominating time-in-flight.
+    """
+    base = SsdArchitecture(host=sata2_spec())
+    arch = table2_configs(base)[config].with_cache_policy(
+        CachePolicy.CACHING)
+    return profile_point(arch, fig3_workload(n_commands),
+                         n_commands=n_commands, warm_start=True,
+                         label=f"fig3/{config}/cache", buckets=buckets)
+
+
+def fig5_profile(scheme: str = "adaptive", kind: str = "read",
+                 fraction: float = 1.0, n_commands: int = 200,
+                 buckets: int = 60):
+    """A profiled Fig. 5 point (ECC scheme x workload x wear fraction).
+
+    Shows the mechanism behind the fixed-vs-adaptive gap: at high wear
+    the ``ecc_decode`` stage share grows for the fixed scheme while the
+    adaptive one holds it flat.
+    """
+    if scheme not in ("fixed", "adaptive"):
+        raise ValueError(f"scheme must be fixed|adaptive, got {scheme!r}")
+    if kind not in ("read", "write"):
+        raise ValueError(f"kind must be read|write, got {kind!r}")
+    ecc = AdaptiveBch() if scheme == "adaptive" else FixedBch()
+    arch = fig5_architecture(ecc, fraction)
+    factory = sequential_read if kind == "read" else sequential_write
+    return profile_point(arch, factory(4096 * n_commands),
+                         n_commands=n_commands, warm_start=kind == "write",
+                         label=f"fig5/{scheme}/{kind}/{fraction}",
+                         buckets=buckets)
 
 
 #: Default endurance fractions for the fault-injection demo campaign:

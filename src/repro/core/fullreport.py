@@ -10,8 +10,8 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
-from .experiments import (fig3_sweep, fig4_sweep, fig5_wearout_sweep,
-                          table3_configs)
+from .experiments import (fig3_profile, fig3_sweep, fig4_sweep,
+                          fig5_wearout_sweep, table3_configs)
 from .explorer import ResourceCostModel
 from .features import render_table, verify_ssdexplorer_column
 from .report import (render_breakdown_table, render_series_table,
@@ -22,12 +22,15 @@ from .validation import run_validation
 
 def generate_report(n_commands: int = 800,
                     configs: Optional[List[str]] = None,
-                    include_fig4: bool = True) -> str:
+                    include_fig4: bool = True,
+                    include_profile: bool = True) -> str:
     """Run the evaluation and return the report as markdown text.
 
     ``n_commands`` scales every workload; the default trades some
     steady-state fidelity for a few minutes of runtime.  ``configs``
-    restricts the Table II sweeps.
+    restricts the Table II sweeps.  ``include_profile`` adds a span-
+    observability section that re-runs one Fig. 3 point with the stage
+    breakdown on, explaining the bar it contributes to.
     """
     started = time.perf_counter()
     sections: List[str] = [
@@ -62,6 +65,16 @@ def generate_report(n_commands: int = 800,
         if saturating else None
     sections.append(f"Saturating (cache policy): {saturating}; "
                     f"optimal design point: {optimal}\n")
+
+    if include_profile:
+        from ..obs import render_bottleneck_report, render_stage_table
+        profile_config = (configs[0] if configs else "C1")
+        __, recorder, __timelines = fig3_profile(
+            config=profile_config, n_commands=max(200, n_commands // 4))
+        sections += [f"## Fig. 3 bottleneck breakdown ({profile_config}, "
+                     "cache policy)", "", "```",
+                     render_stage_table(recorder.breakdown()), "",
+                     render_bottleneck_report(recorder), "```", ""]
 
     if include_fig4:
         fig4 = fig4_sweep(n_commands=n_commands, configs=configs)

@@ -2,10 +2,24 @@
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Sequence, Tuple
 
+from ..ssd.metrics import json_safe
 from ..ssd.scenarios import BreakdownRow
 from .speed import SpeedSample
+
+
+def render_json(payload, indent: int = 2) -> str:
+    """Strict-JSON dump of an experiment payload.
+
+    Non-finite floats (the min/max of an empty accumulator surfaces as
+    ``inf``) are sanitized to ``null`` first, and ``allow_nan=False``
+    guarantees the output never contains the ``Infinity``/``NaN`` tokens
+    that are outside the JSON grammar.
+    """
+    return json.dumps(json_safe(payload), indent=indent, sort_keys=True,
+                      allow_nan=False)
 
 
 def render_breakdown_table(rows: Dict[str, BreakdownRow]) -> str:

@@ -44,7 +44,9 @@ from ..ssd.scenarios import breakdown_with_events, measure
 #: simulated numbers (timing models, scheduler fixes, metric definitions)
 #: so stale cache entries from older code are treated as misses.
 #: sweep-2: architectures gained the fault-injection config field.
-CODE_VERSION = "sweep-2"
+#: sweep-3: RunResult payloads gained stage_breakdown and are sanitized
+#: with json_safe (non-finite floats become null).
+CODE_VERSION = "sweep-3"
 
 
 # ----------------------------------------------------------------------

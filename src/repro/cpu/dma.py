@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..kernel import Component, Resource, Simulator
 from ..kernel.simtime import ns
+from ..obs import spans as _obs
 
 
 class DmaEngine(Component):
@@ -39,12 +40,15 @@ class DmaEngine(Component):
         """
         grant = self._contexts.acquire()
         yield grant
+        t0 = self.sim.now if _obs.enabled else -1
         try:
             if self.setup_ps:
                 yield self.sim.timeout(self.setup_ps)
             result = yield self.sim.process(mover)
         finally:
             self._contexts.release(grant)
+        if t0 >= 0:
+            _obs.record_span(self.path(), "dma", t0, self.sim.now)
         self.stats.counter("descriptors").increment()
         if nbytes:
             self.stats.meter("data").record(nbytes)

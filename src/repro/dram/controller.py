@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..kernel import Component, PriorityResource, Simulator
+from ..obs import spans as _obs
 from .timing import Ddr2Timing
 
 #: Arbitration priorities on the device bus (lower = more urgent).
@@ -112,6 +113,8 @@ class DramController(Component):
             address += segment
         elapsed = self.sim.now - start
         kind = "writes" if is_write else "reads"
+        if _obs.enabled:
+            _obs.record_span(self.path(), "dram_buffer", start, self.sim.now)
         self.stats.counter(kind).increment()
         self.stats.meter("data").record(nbytes)
         self.stats.accumulator("latency_ps").add(elapsed)

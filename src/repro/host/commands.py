@@ -51,6 +51,11 @@ class IoCommand:
     submit_time_ps: int = -1      # entered the device (post link transfer)
     complete_time_ps: int = -1
     status: IoStatus = IoStatus.OK
+    #: Observability context: a :class:`repro.obs.spans.CommandSpan`
+    #: attached by the device when observability is enabled, ``None``
+    #: otherwise.  Excluded from equality — two identical commands stay
+    #: equal whether or not one was profiled.
+    span: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.lba < 0:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from ..kernel import Component, Resource, Simulator
 from ..kernel.simtime import ns, us
+from ..obs import spans as _obs
 
 
 @dataclass(frozen=True)
@@ -136,15 +137,28 @@ class HostInterface(Component):
     def release_slot(self, grant) -> None:
         self.queue_slots.release(grant)
 
-    def transfer(self, nbytes: int, with_command_overhead: bool = True):
-        """Generator: move one command's payload over the link."""
+    def transfer(self, nbytes: int, with_command_overhead: bool = True,
+                 span=None):
+        """Generator: move one command's payload over the link.
+
+        ``span`` is an optional :class:`~repro.obs.spans.CommandSpan`:
+        waiting for the shared link is marked ``queue``, the wire time
+        ``host_xfer``.
+        """
         grant = self.link.acquire()
         yield grant
+        if span is not None:
+            span.mark("queue", self.sim.now)
+        t0 = self.sim.now if _obs.enabled else -1
         duration = self.spec.payload_time_ps(nbytes)
         if with_command_overhead:
             duration += self.spec.command_overhead_ps
         yield self.sim.timeout(duration)
         self.link.release(grant)
+        if span is not None:
+            span.mark("host_xfer", self.sim.now)
+        if t0 >= 0:
+            _obs.record_span(self.path(), "host_xfer", t0, self.sim.now)
         self.stats.meter("link").record(nbytes)
         self.stats.counter("transfers").increment()
 

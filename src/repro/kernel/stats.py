@@ -91,14 +91,26 @@ class Histogram:
     def percentile(self, fraction: float) -> float:
         """Return the upper edge of the bin containing the given quantile.
 
-        Quantiles that fall inside the overflow region (samples beyond
-        ``max_bins * bin_width``) return ``math.inf``: the histogram knows
-        the tail exists but not where it ends.
+        ``fraction == 0.0`` is the distribution minimum and returns the
+        *lower* edge of the first occupied bin (the pre-fix code returned
+        its upper edge, overstating the minimum by one bin width).
+
+        A quantile landing exactly on the binned/overflow boundary (all
+        binned samples seen, none of the overflow needed) still resolves
+        to the last occupied bin's upper edge; only quantiles that need
+        overflow samples return ``math.inf`` — the histogram knows the
+        tail exists but not where it ends.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if self.count == 0:
             return 0.0
+        if fraction == 0.0:
+            if self.bins:
+                return min(self.bins) * self.bin_width
+            # Only overflow samples: the minimum is somewhere past the
+            # binned range, whose lower boundary is all we know.
+            return self.max_bins * self.bin_width
         target = fraction * self.count
         seen = 0
         for index in sorted(self.bins):
@@ -156,6 +168,43 @@ class UtilizationTracker:
             busy += when - self._busy_since
         return busy
 
+    def busy_between(self, start: int, end: int) -> int:
+        """Busy time that falls inside the window ``[start, end)``.
+
+        Both boundaries may land inside segments (completed or still
+        open); the straddling portions are apportioned exactly.
+        """
+        if end <= start:
+            return 0
+        return self._busy_before(end) - self._busy_before(start)
+
+    def timeline(self, buckets: int = 60, start: int = 0,
+                 end: Optional[int] = None) -> List[float]:
+        """Busy fraction sampled over ``buckets`` equal windows.
+
+        Covers ``[start, end]`` (``end`` defaults to the current sim
+        time, and is clamped to it — an open busy segment cannot extend
+        into the future).  Bucket boundaries are computed in integer
+        picoseconds; the last bucket absorbs the rounding remainder.
+        """
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        now = self.sim.now
+        end = now if end is None else min(end, now)
+        span = end - start
+        if span <= 0:
+            return []
+        width = span // buckets
+        if width == 0:
+            buckets = span  # fewer, 1 ps wide
+            width = 1
+        out: List[float] = []
+        for index in range(buckets):
+            lo = start + index * width
+            hi = end if index == buckets - 1 else lo + width
+            out.append(self.busy_between(lo, hi) / (hi - lo))
+        return out
+
     def busy_time(self, since: int = 0) -> int:
         """Total busy time within ``[since, now]``."""
         accum = self._accum
@@ -198,41 +247,58 @@ class ThroughputMeter:
         self.bytes_total += nbytes
         self.ops += 1
 
-    def _default_window(self) -> Optional[int]:
-        """Window from time zero to the last sample (idle tail excluded).
+    def _default_window(self, from_zero: bool = False) -> Optional[int]:
+        """The observed window ``[first_ps, last_ps]`` (idle ends excluded).
+
+        The pre-fix default ran from t=0 to the last sample, so idle
+        warm-up before the first I/O silently deflated MB/s and IOPS
+        (``first_ps`` was recorded but never read).  ``from_zero=True``
+        restores the old window for callers that want absolute-time
+        figures (paper-figure parity).
 
         ``last_ps`` is compared against ``None`` explicitly: a sample
-        recorded at t=0 is a legitimate observation, not "no window" (the
-        old ``last_ps or 0`` conflated the two and reported 0.0 throughput
-        despite recorded bytes).  When every sample landed at t=0 the
-        degenerate zero-width window falls back to the current sim time.
+        recorded at t=0 is a legitimate observation, not "no window" (an
+        even older ``last_ps or 0`` conflated the two and reported 0.0
+        throughput despite recorded bytes).  A degenerate zero-width
+        window (a single sample, or every sample at the same instant)
+        falls back to the time elapsed since the window started.
         """
         if self.last_ps is None:
             return None
-        if self.last_ps == 0:
-            return self.sim.now
-        return self.last_ps
+        if from_zero:
+            if self.last_ps == 0:
+                return self.sim.now
+            return self.last_ps
+        window = self.last_ps - self.first_ps
+        if window == 0:
+            return self.sim.now - self.first_ps
+        return window
 
-    def megabytes_per_second(self, window_ps: Optional[int] = None) -> float:
+    def megabytes_per_second(self, window_ps: Optional[int] = None,
+                             from_zero: bool = False) -> float:
         """Throughput in MB/s (10^6 bytes, as the paper's figures use).
 
-        ``window_ps`` overrides the measurement window; by default the window
-        runs from time zero to the last recorded sample so idle tail time
-        does not inflate the figure.
+        ``window_ps`` overrides the measurement window; by default the
+        window runs from the first to the last recorded sample, so
+        neither the idle warm-up head nor the idle tail dilutes the
+        figure.  ``from_zero=True`` measures from t=0 instead.
         """
         if self.bytes_total == 0:
             return 0.0
-        window = window_ps if window_ps is not None else self._default_window()
+        window = window_ps if window_ps is not None \
+            else self._default_window(from_zero)
         if window is None or window <= 0:
             return 0.0
         seconds = window / 1e12
         return self.bytes_total / 1e6 / seconds
 
-    def iops(self, window_ps: Optional[int] = None) -> float:
+    def iops(self, window_ps: Optional[int] = None,
+             from_zero: bool = False) -> float:
         """Operations per second over the same window."""
         if self.ops == 0:
             return 0.0
-        window = window_ps if window_ps is not None else self._default_window()
+        window = window_ps if window_ps is not None \
+            else self._default_window(from_zero)
         if window is None or window <= 0:
             return 0.0
         return self.ops / (window / 1e12)

@@ -31,7 +31,18 @@ class TraceRecord(NamedTuple):
 
 
 class TraceRecorder:
-    """Bounded ring buffer of trace records."""
+    """Bounded ring buffer of trace records.
+
+    Overflow semantics: once ``capacity`` records are held, each new
+    :meth:`record` evicts the *oldest* record and increments ``dropped``
+    — so the buffer always holds the most recent ``capacity`` events,
+    ``total`` counts every record ever written, and
+    ``total == len(recorder) + dropped`` holds after any clear-free
+    sequence of records.  :meth:`render` appends a trailer line noting
+    how many older records rolled off.  (Contrast with
+    :class:`repro.obs.spans.SpanRecorder`, which keeps the *head* of the
+    run and drops new spans past its cap.)
+    """
 
     def __init__(self, capacity: int = 10_000):
         if capacity < 1:

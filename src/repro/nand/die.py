@@ -21,6 +21,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from ..faults import FaultPlan
 from ..kernel import Component, SimulationError, Simulator
+from ..obs import spans as _obs
 from .geometry import NandGeometry, PageAddress
 from .timing import MlcTimingModel
 from .wear import BlockWearState, WearModel
@@ -63,6 +64,7 @@ class NandDie(Component):
         # (plane, block) -> BlockWearState, created lazily.
         self._wear: Dict[Tuple[int, int], BlockWearState] = {}
         self._busy_tracker = self.stats.utilization("array")
+        self._obs_t0 = -1  # array-op start when observability is on
         # Fault injection: installed by the device via set_fault_plan();
         # None keeps every fault branch a single attribute check.
         self.fault_plan: Optional[FaultPlan] = None
@@ -369,8 +371,15 @@ class NandDie(Component):
                 f"{self.path()}: command issued while die is {self.state}")
         self.state = new_state
         self._busy_tracker.set_busy()
+        self._obs_t0 = self.sim.now if _obs.enabled else -1
 
     def _end(self) -> None:
+        if self._obs_t0 >= 0:
+            # Name the component span after the array operation so the
+            # activity table separates sense/program/erase pressure.
+            _obs.record_span(self.path(), self.state, self._obs_t0,
+                             self.sim.now)
+            self._obs_t0 = -1
         self.state = self.IDLE
         self._busy_tracker.set_idle()
 

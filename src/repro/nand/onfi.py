@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from ..kernel import Component, Resource, Simulator
 from ..kernel.simtime import ns
+from ..obs import spans as _obs
 
 
 @dataclass(frozen=True)
@@ -95,16 +96,22 @@ class OnfiChannel(Component):
         """Occupy the bus for a command/address sequence (generator)."""
         grant = self.bus.acquire()
         yield grant
+        t0 = self.sim.now if _obs.enabled else -1
         yield self.sim.timeout(self.timing.command_time() + self.timing.overhead_ps)
         self.bus.release(grant)
+        if t0 >= 0:
+            _obs.record_span(self.path(), "bus_cmd", t0, self.sim.now)
         self.stats.counter("commands").increment()
 
     def transfer(self, nbytes: int):
         """Occupy the bus for a data transfer of ``nbytes`` (generator)."""
         grant = self.bus.acquire()
         yield grant
+        t0 = self.sim.now if _obs.enabled else -1
         yield self.sim.timeout(self.timing.data_time(nbytes))
         self.bus.release(grant)
+        if t0 >= 0:
+            _obs.record_span(self.path(), "bus_xfer", t0, self.sim.now)
         self.stats.counter("transfers").increment()
         self.stats.meter("data").record(nbytes)
 
@@ -112,8 +119,11 @@ class OnfiChannel(Component):
         """Command + data in one bus tenure (how real controllers do it)."""
         grant = self.bus.acquire()
         yield grant
+        t0 = self.sim.now if _obs.enabled else -1
         yield self.sim.timeout(self.timing.effective_page_time(nbytes))
         self.bus.release(grant)
+        if t0 >= 0:
+            _obs.record_span(self.path(), "bus_xfer", t0, self.sim.now)
         self.stats.counter("transfers").increment()
         self.stats.meter("data").record(nbytes)
 

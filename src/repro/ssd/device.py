@@ -34,6 +34,7 @@ from ..host import HostInterface, IoCommand, IoOpcode, IoStatus
 from ..interconnect import AhbBus
 from ..kernel import Component, Resource, Simulator
 from ..kernel.tracing import trace, trace_enabled
+from ..obs import spans as _obs
 from ..nand.geometry import PageAddress
 from .architecture import CachePolicy, CpuMode, SsdArchitecture
 
@@ -271,8 +272,18 @@ class SsdDevice(Component):
     # Command execution
     # ------------------------------------------------------------------
     def execute(self, command: IoCommand, pattern: str = "sequential"):
-        """Generator: run one command through the configured data path."""
+        """Generator: run one command through the configured data path.
+
+        When observability is on, the command carries a
+        :class:`~repro.obs.spans.CommandSpan` from here to completion;
+        the flow methods mark stage boundaries on it so the stage
+        durations tile the end-to-end latency exactly.
+        """
         command.issue_time_ps = self.sim.now
+        if _obs.enabled:
+            command.span = _obs.active_recorder.begin_command(
+                f"{command.opcode.name} lba={command.lba} "
+                f"{command.nbytes}B", self.sim.now)
         if command.opcode is IoOpcode.WRITE:
             yield from self._write_flow(command, pattern)
         elif command.opcode is IoOpcode.READ:
@@ -286,24 +297,33 @@ class SsdDevice(Component):
     # -- write ----------------------------------------------------------
     def _write_flow(self, command: IoCommand, pattern: str):
         sim = self.sim
+        span = command.span
         nbytes = command.nbytes
 
         if self.mode is not DataPathMode.DDR_FLASH:
-            yield from self.hostif.transfer(nbytes)
+            yield from self.hostif.transfer(nbytes, span=span)
         command.submit_time_ps = sim.now
 
         nbytes = yield from self._compress(nbytes,
                                            CompressorPlacement.HOST_INTERFACE)
+        if span is not None:
+            span.mark("compress", sim.now)
 
         placement = self.next_target()
         channel_index, way, die_index = placement
         yield from self.cpu.process_command(
             command.opcode.value, command.lba, command.sectors,
             {"channel": channel_index, "way": way, "die": die_index})
+        if span is not None:
+            span.mark("cpu", sim.now)
 
         buffer_index = self.buffers.buffer_for_channel(channel_index)
         yield from self.buffers.reserve(buffer_index, nbytes)
+        if span is not None:
+            span.mark("queue", sim.now)
         yield from self.buffers.write(buffer_index, nbytes)
+        if span is not None:
+            span.mark("dram_buffer", sim.now)
 
         if self.mode is DataPathMode.HOST_DDR:
             self.buffers.release(buffer_index, nbytes)
@@ -355,9 +375,16 @@ class SsdDevice(Component):
         sim = self.sim
         channel_index = placement[0]
         controller = self.channels[channel_index]
+        # For a no-caching (or DDR+FLASH) write the command is blocked on
+        # this flush, so its stage marks land on the command span; for a
+        # cached write the span finished at host acknowledgment and every
+        # mark below is a no-op (CommandSpan.mark checks `finished`).
+        span = command.span if command is not None else None
 
         flash_bytes = yield from self._compress(
             nbytes, CompressorPlacement.CHANNEL_WAY)
+        if span is not None:
+            span.mark("compress", sim.now)
         page_bytes = self.arch.geometry.page_bytes
         # Compressed payloads pack into the channel's fill buffer; a page
         # is programmed only once a full page of data has accumulated.
@@ -394,6 +421,12 @@ class SsdDevice(Component):
                 for __ in range(pages)]
             if handles:
                 yield sim.all_of(handles)
+            if span is not None:
+                # Pages stripe over dies in parallel, so the command span
+                # records the drain as one stage; the fine structure
+                # (bus_xfer / ecc_encode / nand_busy per die) is in the
+                # component spans those resources record themselves.
+                span.mark("flash_drain", sim.now)
             # The WAF model's GC share blocks this flush (Hu et al.: the
             # FTL's "blocking time"), so write cache space stays held until
             # the amplified traffic has been served.
@@ -401,6 +434,8 @@ class SsdDevice(Component):
             if relocations or erases:
                 yield sim.process(self._gc_work(placement[0], relocations,
                                                 erases))
+                if span is not None:
+                    span.mark("gc", sim.now)
         finally:
             # Cache space must come back even when the drain faults, or a
             # failed write would leak buffer capacity forever.
@@ -441,6 +476,7 @@ class SsdDevice(Component):
     # -- read -----------------------------------------------------------
     def _read_flow(self, command: IoCommand):
         sim = self.sim
+        span = command.span
         command.submit_time_ps = sim.now
 
         placement = self.next_target()
@@ -449,6 +485,8 @@ class SsdDevice(Component):
         yield from self.cpu.process_command(
             command.opcode.value, command.lba, command.sectors,
             {"channel": channel_index, "way": way, "die": die_index})
+        if span is not None:
+            span.mark("cpu", sim.now)
 
         page_bytes = self.arch.geometry.page_bytes
         pages = -(-command.nbytes // page_bytes)
@@ -456,8 +494,11 @@ class SsdDevice(Component):
         for __ in range(pages):
             address = self._next_read_page(placement)
             try:
+                # Pages of one command are read serially, so the span
+                # threads down into read_page for the fine stage marks
+                # (queue / bus_xfer / nand_busy / ecc_decode).
                 yield sim.process(controller.read_page(way, die_index,
-                                                       address))
+                                                       address, span=span))
             except UncorrectableReadError:
                 # Retry ladder exhausted: the command completes with a
                 # media error status, no data crosses the host link.
@@ -466,8 +507,10 @@ class SsdDevice(Component):
             yield sim.process(controller.ppdma.execute(
                 self.buffers.write(buffer_index, page_bytes),
                 nbytes=page_bytes))
+            if span is not None:
+                span.mark("dram_buffer", sim.now)
         if self.mode is not DataPathMode.DDR_FLASH:
-            yield from self.hostif.transfer(command.nbytes)
+            yield from self.hostif.transfer(command.nbytes, span=span)
         self._complete(command)
 
     # -- trim -----------------------------------------------------------
@@ -477,6 +520,8 @@ class SsdDevice(Component):
         yield from self.cpu.process_command(
             command.opcode.value, command.lba, command.sectors,
             {"channel": channel_index, "way": way, "die": die_index})
+        if command.span is not None:
+            command.span.mark("cpu", self.sim.now)
         self._complete(command, count_bytes=False)
 
     # -- GC (WAF abstraction) --------------------------------------------
@@ -564,6 +609,8 @@ class SsdDevice(Component):
                   f"{command} -> {status.value}")
         command.status = status
         command.complete_time_ps = self.sim.now
+        if command.span is not None:
+            _obs.active_recorder.end_command(command.span, self.sim.now)
         self.commands_failed += 1
         self.last_completion_ps = self.sim.now
         self.stats.counter("failed_commands").increment()
@@ -572,6 +619,8 @@ class SsdDevice(Component):
         if trace_enabled():
             trace(self.sim.now, self.path(), "complete", str(command))
         command.complete_time_ps = self.sim.now
+        if command.span is not None:
+            _obs.active_recorder.end_command(command.span, self.sim.now)
         self.commands_completed += 1
         if count_bytes:
             self.bytes_completed += command.nbytes

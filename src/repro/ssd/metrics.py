@@ -8,13 +8,32 @@ behind the paper's Fig. 3 "performance flattening" analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
 
 from ..host import IoCommand
 from ..host.workload import Workload
 from ..kernel import Simulator
+from ..obs import spans as _obs
 from .device import DataPathMode, SsdDevice
+
+
+def json_safe(value):
+    """Recursively replace non-finite floats with ``None``.
+
+    ``json.dumps`` happily emits ``Infinity``/``NaN`` — tokens outside the
+    JSON grammar that many parsers reject.  Empty accumulators report
+    ``minimum=inf`` / ``maximum=-inf``, so anything built from raw stat
+    snapshots must pass through here before serialization.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value
 
 
 @dataclass
@@ -46,6 +65,10 @@ class RunResult:
     uncorrectable_reads: int = 0
     retired_blocks: int = 0
     remapped_programs: int = 0
+    #: Per-stage latency decomposition (populated only when observability
+    #: is enabled during the run): stage name -> breakdown row as
+    #: produced by :meth:`repro.obs.spans.SpanRecorder.breakdown`.
+    stage_breakdown: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def __str__(self) -> str:
         return (f"{self.label}: {self.throughput_mbps:8.1f} MB/s  "
@@ -53,8 +76,13 @@ class RunResult:
                 f"{self.mean_latency_us:8.1f} us")
 
     def to_dict(self) -> Dict[str, object]:
-        """Flatten to plain types (for JSON export / result archives)."""
-        return {
+        """Flatten to plain types (for JSON export / result archives).
+
+        The payload is sanitized with :func:`json_safe`: non-finite
+        floats (e.g. the min/max of an empty accumulator) become ``null``
+        instead of leaking as ``Infinity`` tokens into result archives.
+        """
+        return json_safe({
             "label": self.label,
             "throughput_mbps": self.throughput_mbps,
             "sustained_mbps": self.sustained_mbps,
@@ -81,7 +109,9 @@ class RunResult:
                 "retired_blocks": self.retired_blocks,
                 "remapped_programs": self.remapped_programs,
             },
-        }
+            "stage_breakdown": {name: dict(row) for name, row
+                                in self.stage_breakdown.items()},
+        })
 
 
 def run_workload(sim: Simulator, device: SsdDevice, workload: Workload,
@@ -178,6 +208,8 @@ def run_workload(sim: Simulator, device: SsdDevice, workload: Workload,
         wall_seconds=sim.wall_seconds - wall_before,
         events=sim.events_processed - events_before,
         utilizations=collect_utilizations(device),
+        stage_breakdown=(_obs.active_recorder.breakdown()
+                         if _obs.enabled else {}),
         **collect_reliability(device),
     )
 
@@ -256,4 +288,27 @@ def collect_utilizations(device: SsdDevice) -> Dict[str, float]:
     buffers = device.buffers.buffers
     if buffers:
         out["dram"] = sum(b.utilization() for b in buffers) / len(buffers)
+    return out
+
+
+def collect_utilization_timelines(device: SsdDevice,
+                                  buckets: int = 60
+                                  ) -> Dict[str, List[float]]:
+    """Bucketed busy-fraction timelines of the device's hot units.
+
+    Per channel: the mean of its die-array trackers (the unit that
+    saturates first in the Fig. 3 regime).  Feeds the sparkline view of
+    ``python -m repro profile``.
+    """
+    out: Dict[str, List[float]] = {}
+    for index, channel in enumerate(device.channels):
+        per_die = [die.stats.utilization("array").timeline(buckets)
+                   for way in channel.dies for die in way]
+        per_die = [t for t in per_die if t]
+        if not per_die:
+            continue
+        width = min(len(t) for t in per_die)
+        out[f"chn{index}.dies"] = [
+            sum(t[i] for t in per_die) / len(per_die)
+            for i in range(width)]
     return out

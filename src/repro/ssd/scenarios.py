@@ -26,13 +26,19 @@ def host_ideal_mbps(arch: SsdArchitecture, block_bytes: int = 4096) -> float:
     return arch.host.ideal_throughput_mbps(block_bytes)
 
 
-def measure(arch: SsdArchitecture, workload: Workload,
-            mode: DataPathMode = DataPathMode.FULL,
-            max_commands: Optional[int] = None,
-            label: str = "",
-            preload_reads: bool = True,
-            warm_start: bool = False) -> RunResult:
-    """Build a fresh device and run one scenario."""
+def measure_with_device(arch: SsdArchitecture, workload: Workload,
+                        mode: DataPathMode = DataPathMode.FULL,
+                        max_commands: Optional[int] = None,
+                        label: str = "",
+                        preload_reads: bool = True,
+                        warm_start: bool = False
+                        ) -> "tuple[RunResult, SsdDevice]":
+    """Run one scenario and also return the device it ran on.
+
+    The device (and its simulator, via ``device.sim``) gives profiling
+    callers access to the utilization trackers after the run — see
+    :func:`repro.ssd.metrics.collect_utilization_timelines`.
+    """
     sim = Simulator()
     device = SsdDevice(sim, arch, mode=mode)
     if preload_reads and workload.opcode.name == "READ":
@@ -47,6 +53,19 @@ def measure(arch: SsdArchitecture, workload: Workload,
         # windowed estimate it is immune to erase-burst completion
         # clumping.
         result.sustained_mbps = result.throughput_mbps
+    return result, device
+
+
+def measure(arch: SsdArchitecture, workload: Workload,
+            mode: DataPathMode = DataPathMode.FULL,
+            max_commands: Optional[int] = None,
+            label: str = "",
+            preload_reads: bool = True,
+            warm_start: bool = False) -> RunResult:
+    """Build a fresh device and run one scenario."""
+    result, __ = measure_with_device(
+        arch, workload, mode=mode, max_commands=max_commands, label=label,
+        preload_reads=preload_reads, warm_start=warm_start)
     return result
 
 

@@ -273,5 +273,9 @@ class TestBankParallelism:
             yield sim.all_of(handles)
 
         sim.run(until=sim.process(flow()))
-        mbps = ctrl.stats.meters["data"].megabytes_per_second()
+        # The peak-bandwidth bound is an absolute-time claim, so measure
+        # from t=0: the default [first, last] sample window excludes the
+        # first burst's own activate/CAS latency and can legitimately
+        # read a few percent above peak.
+        mbps = ctrl.stats.meters["data"].megabytes_per_second(from_zero=True)
         assert mbps <= timing.peak_bandwidth_mbps() * 1.001

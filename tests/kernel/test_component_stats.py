@@ -163,8 +163,16 @@ class TestThroughputMeter:
 
         sim.process(proc())
         sim.run()
-        # 8192 bytes over 2 us = 4096 MB/s
-        assert meter.megabytes_per_second() == pytest.approx(4096.0)
+        # Default window is [first, last] sample: 8192 bytes over the
+        # 1 us between the two records = 8192 MB/s.  The idle 1 us of
+        # warm-up before the first record no longer dilutes the figure.
+        assert meter.megabytes_per_second() == pytest.approx(8192.0)
+        # from_zero=True restores the absolute window (t=0 .. last):
+        # 8192 bytes over 2 us = 4096 MB/s.
+        assert meter.megabytes_per_second(
+            from_zero=True) == pytest.approx(4096.0)
+        assert meter.iops() == pytest.approx(2 / 1e-6)
+        assert meter.iops(from_zero=True) == pytest.approx(2 / 2e-6)
 
     def test_empty_meter(self, sim):
         meter = ThroughputMeter(sim)
@@ -193,4 +201,7 @@ class TestThroughputMeter:
 
         sim.process(proc())
         sim.run()
-        assert meter.iops() == pytest.approx(10 / 1e-3)
+        # Samples land at 100us..1000us: the observed window is 900us,
+        # and from_zero=True measures against absolute time (1 ms).
+        assert meter.iops() == pytest.approx(10 / 0.9e-3)
+        assert meter.iops(from_zero=True) == pytest.approx(10 / 1e-3)

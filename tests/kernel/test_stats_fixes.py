@@ -1,0 +1,170 @@
+"""Regression tests for the stats/metrics bugfix sweep.
+
+Each class locks one fix: the Histogram lower-edge/overflow-boundary
+quantiles, the UtilizationTracker windowed-busy bisect (checked against
+a brute-force reference), and the ThroughputMeter observed-window
+semantics.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.kernel.stats import Histogram, ThroughputMeter, UtilizationTracker
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestHistogramLowerEdge:
+    def test_percentile_zero_is_lower_edge(self):
+        hist = Histogram(bin_width=10)
+        hist.add(25)  # bin 2: [20, 30)
+        hist.add(47)
+        # The minimum lives in [20, 30); the pre-fix code reported 30.
+        assert hist.percentile(0.0) == 20
+        assert hist.percentile(1.0) == 50
+
+    def test_percentile_zero_first_bin(self):
+        hist = Histogram(bin_width=5)
+        hist.add(3)
+        assert hist.percentile(0.0) == 0
+
+    def test_percentile_zero_all_overflow(self):
+        hist = Histogram(bin_width=1, max_bins=10)
+        hist.add(1e9)
+        # All we know is the minimum is past the binned range.
+        assert hist.percentile(0.0) == 10
+        assert hist.percentile(0.5) == math.inf
+
+    def test_overflow_boundary_quantiles(self):
+        hist = Histogram(bin_width=1, max_bins=10)
+        for value in range(8):   # bins 0..7
+            hist.add(value)
+        hist.add(100)            # overflow
+        hist.add(200)            # overflow
+        # 8 of 10 samples are binned: quantiles up to 0.8 resolve inside
+        # the bins, anything needing the overflow tail is unbounded.
+        assert hist.percentile(0.8) == 8
+        assert hist.percentile(0.81) == math.inf
+        assert hist.percentile(1.0) == math.inf
+        assert hist.percentile(0.0) == 0
+
+    def test_no_overflow_top_quantile_finite(self):
+        hist = Histogram(bin_width=2, max_bins=10)
+        for value in (1, 5, 9):
+            hist.add(value)
+        assert hist.percentile(1.0) == 10  # upper edge of bin 4
+
+
+def brute_force_busy(segments, start, end):
+    """Reference overlap sum over explicit (start, end) busy segments."""
+    busy = 0
+    for seg_start, seg_end in segments:
+        busy += max(0, min(end, seg_end) - max(start, seg_start))
+    return busy
+
+
+class TestBusyBetweenProperty:
+    def drive(self, sim, pattern):
+        """Run alternating busy/idle durations; return busy segments."""
+        tracker = UtilizationTracker(sim)
+        segments = []
+
+        def proc():
+            for busy_for, idle_for in pattern:
+                seg_start = sim.now
+                tracker.set_busy()
+                yield busy_for
+                tracker.set_idle()
+                segments.append((seg_start, sim.now))
+                yield idle_for
+
+        sim.process(proc())
+        sim.run()
+        return tracker, segments
+
+    def test_brute_force_randomized_windows(self, sim):
+        rng = random.Random(0xC0FFEE)
+        pattern = [(rng.randint(1, 50), rng.randint(0, 30))
+                   for __ in range(40)]
+        tracker, segments = self.drive(sim, pattern)
+        horizon = sim.now
+        for __ in range(500):
+            a = rng.randint(0, horizon)
+            b = rng.randint(0, horizon)
+            start, end = min(a, b), max(a, b)
+            assert tracker.busy_between(start, end) == \
+                brute_force_busy(segments, start, end), (start, end)
+
+    def test_boundaries_inside_straddling_segment(self, sim):
+        tracker, segments = self.drive(sim, [(100, 50), (100, 0)])
+        # Segments: [0, 100) busy, [100, 150) idle, [150, 250) busy.
+        assert tracker.busy_between(30, 70) == 40      # inside one segment
+        assert tracker.busy_between(50, 200) == 100    # straddles both
+        assert tracker.busy_between(100, 150) == 0     # exactly the idle gap
+        assert tracker.busy_between(0, 100) == 100     # exact segment
+        assert tracker.busy_between(100, 250) == 100
+        assert tracker.busy_between(99, 151) == 2
+
+    def test_zero_and_inverted_windows(self, sim):
+        tracker, __ = self.drive(sim, [(100, 0)])
+        assert tracker.busy_between(40, 40) == 0
+        assert tracker.busy_between(80, 20) == 0
+
+    def test_open_segment_counts(self, sim):
+        tracker = UtilizationTracker(sim)
+
+        def proc():
+            yield 50
+            tracker.set_busy()
+            yield 100  # still busy at the end of the run
+
+        sim.process(proc())
+        sim.run()
+        assert tracker.busy_between(0, 150) == 100
+        assert tracker.busy_between(100, 150) == 50
+        assert tracker.busy_between(0, 50) == 0
+
+    def test_timeline_buckets(self, sim):
+        tracker, __ = self.drive(sim, [(100, 100)])
+        series = tracker.timeline(buckets=4, start=0, end=200)
+        assert series == [1.0, 1.0, 0.0, 0.0]
+        assert tracker.timeline(buckets=3, start=100, end=100) == []
+        with pytest.raises(ValueError):
+            tracker.timeline(buckets=0)
+
+
+class TestThroughputWindow:
+    def test_zero_width_window_falls_back_to_elapsed(self, sim):
+        meter = ThroughputMeter(sim)
+
+        def proc():
+            yield 1_000_000          # 1 us
+            meter.record(1_000_000)  # single sample: zero-width window
+            yield 1_000_000          # idle tail to 2 us
+
+        sim.process(proc())
+        sim.run()
+        # [first, last] is zero-width; fall back to time since the
+        # window started (1 us), not 0.0 and not a crash.
+        assert meter.megabytes_per_second() == pytest.approx(1e6)
+        assert meter.iops() == pytest.approx(1e6)
+
+    def test_sample_at_time_zero_is_a_window(self, sim):
+        meter = ThroughputMeter(sim)
+
+        def proc():
+            meter.record(512)  # at t=0
+            yield 1_000_000
+
+        sim.process(proc())
+        sim.run()
+        # last_ps == 0 must not read as "no data": from_zero falls back
+        # to the current sim time.
+        assert meter.megabytes_per_second(from_zero=True) > 0.0
+        assert meter.megabytes_per_second() > 0.0

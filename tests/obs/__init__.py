@@ -1,0 +1,1 @@
+"""Span-based observability tests."""

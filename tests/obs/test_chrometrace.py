@@ -1,0 +1,111 @@
+"""Chrome trace_event export and validation tests."""
+
+import json
+
+from repro.obs import (SpanRecorder, to_chrome_trace, validate_chrome_trace,
+                       validate_file, write_chrome_trace)
+from repro.obs.chrometrace import _CMD_TID_BASE, _TRACK_TID_BASE
+
+
+def loaded_recorder():
+    recorder = SpanRecorder()
+    span = recorder.begin_command("WRITE lba=0 4096B", 1_000_000)
+    span.mark("queue", 2_000_000)
+    span.mark("bus_xfer", 3_500_000)
+    recorder.end_command(span, 3_500_000)
+    recorder.record_span("ssd.chn0.bus", "bus_xfer", 2_000_000, 3_500_000)
+    recorder.record_span("ssd.chn1.bus", "bus_xfer", 0, 500_000)
+    return recorder
+
+
+class TestExport:
+    def test_envelope_and_event_layout(self):
+        document = to_chrome_trace(loaded_recorder())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        events = document["traceEvents"]
+        by_cat = {}
+        for event in events:
+            by_cat.setdefault(event.get("cat"), []).append(event)
+        # 1 command slice + 2 stage slices + 2 component slices.
+        assert len(by_cat["command"]) == 1
+        assert len(by_cat["stage"]) == 2
+        assert len(by_cat["component"]) == 2
+        command = by_cat["command"][0]
+        # ps -> us conversion.
+        assert command["ts"] == 1.0 and command["dur"] == 2.5
+        assert command["tid"] == _CMD_TID_BASE  # span_id 0 -> lane 0
+        # Component tracks are sorted and numbered after the cmd lanes.
+        component_tids = {e["tid"] for e in by_cat["component"]}
+        assert component_tids == {_TRACK_TID_BASE, _TRACK_TID_BASE + 1}
+        # Metadata names the process, each used lane, and each track.
+        metadata = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in metadata}
+        assert {"repro-sim", "cmd lane 0",
+                "ssd.chn0.bus", "ssd.chn1.bus"} <= names
+
+    def test_stages_nest_inside_command_slice(self):
+        document = to_chrome_trace(loaded_recorder())
+        events = document["traceEvents"]
+        command = next(e for e in events if e.get("cat") == "command")
+        for stage in (e for e in events if e.get("cat") == "stage"):
+            assert stage["tid"] == command["tid"]
+            assert stage["ts"] >= command["ts"]
+            assert stage["ts"] + stage["dur"] <= \
+                command["ts"] + command["dur"] + 1e-9
+
+    def test_exported_document_validates(self):
+        assert validate_chrome_trace(to_chrome_trace(loaded_recorder())) == []
+
+    def test_empty_recorder_still_valid(self):
+        assert validate_chrome_trace(to_chrome_trace(SpanRecorder())) == []
+
+
+class TestValidator:
+    def test_rejects_non_object_document(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"events": []}) != []
+
+    def test_rejects_malformed_events(self):
+        bad = {"traceEvents": [
+            "not an object",
+            {"name": "x"},                                   # no ph
+            {"ph": "X", "name": "x", "ts": -1.0, "dur": 1.0,
+             "pid": 1, "tid": 1},                            # negative ts
+            {"ph": "X", "name": "x", "ts": 0.0, "dur": "2",
+             "pid": 1, "tid": 1},                            # non-numeric dur
+            {"ph": "X", "name": "x", "ts": 0.0, "dur": 1.0,
+             "pid": 1, "tid": 1.5},                          # non-int tid
+            {"ph": "M", "name": "bogus_meta", "args": {}},   # unknown meta
+            {"ph": "M", "name": "thread_name"},              # missing args
+        ]}
+        errors = validate_chrome_trace(bad)
+        assert len(errors) == 7
+
+    def test_rejects_non_finite_timestamps(self):
+        bad = {"traceEvents": [
+            {"ph": "X", "name": "x", "ts": float("inf"), "dur": 1.0,
+             "pid": 1, "tid": 1},
+            {"ph": "X", "name": "x", "ts": 0.0, "dur": float("nan"),
+             "pid": 1, "tid": 1},
+        ]}
+        assert len(validate_chrome_trace(bad)) == 2
+
+
+class TestFileRoundTrip:
+    def test_write_then_validate(self, tmp_path):
+        path = tmp_path / "trace.json"
+        document = write_chrome_trace(loaded_recorder(), str(path))
+        assert validate_file(str(path)) == []
+        assert json.loads(path.read_text()) == document
+
+    def test_validate_file_rejects_infinity_token(self, tmp_path):
+        # json.dump(allow_nan=True) would happily write `Infinity`, which
+        # Perfetto rejects; validate_file must too (parse_constant).
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": [{"ph": "X", "name": "x", '
+                        '"ts": Infinity, "dur": 1.0, "pid": 1, "tid": 1}]}')
+        errors = validate_file(str(path))
+        assert len(errors) == 1 and "Infinity" in errors[0]
+
+    def test_validate_file_missing_file(self, tmp_path):
+        assert validate_file(str(tmp_path / "nope.json")) != []

@@ -1,0 +1,152 @@
+"""Unit tests for the span primitives (repro.obs.spans)."""
+
+import pytest
+
+from repro.obs import (CommandSpan, ComponentSpan, OTHER_STAGE, SpanRecorder,
+                       disable_observability, enable_observability,
+                       obs_enabled, record_span)
+from repro.obs import spans as spans_module
+
+
+class TestCommandSpan:
+    def test_marks_tile_the_timeline(self):
+        span = CommandSpan(0, "WRITE", 100)
+        span.mark("queue", 250)
+        span.mark("bus_xfer", 400)
+        span.finish(400)
+        assert span.stages == [("queue", 100, 250), ("bus_xfer", 250, 400)]
+        assert span.duration_ps == 300
+        assert sum(span.stage_totals().values()) == span.duration_ps
+
+    def test_residual_goes_to_other(self):
+        span = CommandSpan(0, "READ", 0)
+        span.mark("cpu", 10)
+        span.finish(25)  # 15 ps nobody claimed
+        assert span.stage_totals() == {"cpu": 10, OTHER_STAGE: 15}
+        assert sum(span.stage_totals().values()) == span.duration_ps == 25
+
+    def test_zero_length_marks_dropped(self):
+        span = CommandSpan(0, "x", 50)
+        span.mark("a", 50)   # no time elapsed
+        span.mark("b", 80)
+        span.mark("b", 80)   # again, nothing elapsed
+        span.finish(80)
+        assert span.stages == [("b", 50, 80)]
+
+    def test_repeated_stage_totals_accumulate(self):
+        span = CommandSpan(0, "x", 0)
+        span.mark("queue", 5)
+        span.mark("bus_xfer", 9)
+        span.mark("queue", 20)
+        span.finish(20)
+        assert span.stage_totals() == {"queue": 16, "bus_xfer": 4}
+
+    def test_marks_after_finish_are_noops(self):
+        # A cached write completes at the host before its background
+        # flush; the flush's marks must not extend the command timeline.
+        span = CommandSpan(0, "WRITE", 0)
+        span.mark("host_xfer", 30)
+        span.finish(30)
+        span.mark("flash_drain", 900)
+        span.finish(900)
+        assert span.end_ps == 30
+        assert span.stage_totals() == {"host_xfer": 30}
+
+    def test_finish_is_idempotent(self):
+        span = CommandSpan(0, "x", 0)
+        span.finish(10)
+        span.finish(50)
+        assert span.end_ps == 10
+
+
+class TestSpanRecorder:
+    def test_end_command_folds_stage_stats(self):
+        recorder = SpanRecorder()
+        for latency in (100, 300):
+            span = recorder.begin_command("WRITE", 0)
+            span.mark("queue", latency)
+            recorder.end_command(span, latency)
+        breakdown = recorder.breakdown()
+        assert recorder.commands_completed == 2
+        assert breakdown["queue"]["count"] == 2
+        assert breakdown["queue"]["total_ps"] == 400
+        assert breakdown["queue"]["mean_ps"] == 200
+        assert breakdown["queue"]["max_ps"] == 300
+        assert breakdown["queue"]["share"] == pytest.approx(1.0)
+
+    def test_breakdown_shares_sum_to_one(self):
+        recorder = SpanRecorder()
+        span = recorder.begin_command("READ", 0)
+        span.mark("cpu", 10)
+        span.mark("nand_busy", 80)
+        span.mark("bus_xfer", 100)
+        recorder.end_command(span, 130)  # 30 ps of "other"
+        shares = [row["share"] for row in recorder.breakdown().values()]
+        assert sum(shares) == pytest.approx(1.0)
+        assert set(recorder.breakdown()) == \
+            {"cpu", "nand_busy", "bus_xfer", OTHER_STAGE}
+
+    def test_component_span_aggregation(self):
+        recorder = SpanRecorder()
+        recorder.record_span("ssd.chn0.bus", "bus_xfer", 0, 40)
+        recorder.record_span("ssd.chn1.bus", "bus_xfer", 10, 30)
+        recorder.record_span("ssd.chn0.bus", "bus_cmd", 40, 45)
+        assert recorder.component_spans[0] == \
+            ComponentSpan("ssd.chn0.bus", "bus_xfer", 0, 40)
+        assert recorder.component_breakdown()["bus_xfer"]["total_ps"] == 60
+        assert recorder.busiest_tracks() == \
+            [("ssd.chn0.bus", 45), ("ssd.chn1.bus", 20)]
+
+    def test_bounded_retention_keeps_head_counts_drops(self):
+        recorder = SpanRecorder(max_command_spans=2, max_component_spans=1)
+        for index in range(4):
+            span = recorder.begin_command(f"cmd{index}", 0)
+            recorder.end_command(span, 10)
+            recorder.record_span("t", "busy", 0, 10)
+        # The head of the run is retained (contiguous prefix for the
+        # trace viewer), the tail is counted, and aggregates stay exact.
+        assert [span.label for span in recorder.commands] == ["cmd0", "cmd1"]
+        assert recorder.dropped_commands == 2
+        assert len(recorder.component_spans) == 1
+        assert recorder.dropped_component_spans == 3
+        assert recorder.commands_completed == 4
+        assert recorder.component_breakdown()["busy"]["count"] == 4
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(max_command_spans=0)
+
+    def test_clear(self):
+        recorder = SpanRecorder(max_command_spans=1)
+        recorder.end_command(recorder.begin_command("a", 0), 5)
+        recorder.end_command(recorder.begin_command("b", 0), 5)
+        recorder.record_span("t", "busy", 0, 5)
+        recorder.clear()
+        assert recorder.commands == [] and recorder.component_spans == []
+        assert recorder.dropped_commands == 0
+        assert recorder.breakdown() == {}
+        assert recorder.busiest_tracks() == []
+
+
+class TestGlobalHook:
+    def test_enable_disable_round_trip(self):
+        assert not obs_enabled()
+        recorder = enable_observability()
+        try:
+            assert obs_enabled()
+            assert spans_module.active_recorder is recorder
+            record_span("t", "busy", 0, 7)
+            assert recorder.track_busy == {"t": 7}
+        finally:
+            disable_observability()
+        assert not obs_enabled()
+        # Disabled: record_span is a no-op, nothing reaches the old
+        # recorder and nothing is allocated.
+        record_span("t", "busy", 0, 7)
+        assert recorder.track_busy == {"t": 7}
+
+    def test_null_recorder_is_inert(self):
+        null = spans_module._NullRecorder()
+        assert null.begin_command("x", 0) is None
+        null.end_command(None, 10)
+        null.record_span("t", "busy", 0, 10)

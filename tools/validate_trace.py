@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace_event JSON file against the format rules.
+
+Usage::
+
+    python tools/validate_trace.py trace.json [more.json ...]
+
+Exit status 0 when every file is a valid trace (strict JSON, well-formed
+events); 1 otherwise, with one problem per line on stderr.  Thin wrapper
+over :func:`repro.obs.validate_file` so CI and humans share one checker.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs import validate_file  # noqa: E402
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        errors = validate_file(path)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
