@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench sweep faults profile
+.PHONY: test test-fast bench sweep faults profile trace golden golden-refresh
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -36,3 +36,23 @@ profile:
 # REPRO_BENCH_COMMANDS (workload length), REPRO_SWEEP_WORKERS (width).
 sweep:
 	$(PYTHON) benchmarks/bench_sweep.py
+
+# Trace-ingestion smoke: characterize, replay and format-convert the
+# bundled sample trace end to end through the CLI.
+trace:
+	$(PYTHON) -m repro trace characterize examples/sample_msr.csv
+	$(PYTHON) -m repro trace replay examples/sample_msr.csv
+	$(PYTHON) -m repro trace convert examples/sample_msr.csv \
+		/tmp/repro-sample.trace --to native
+	$(PYTHON) -m repro trace characterize /tmp/repro-sample.trace --json \
+		> /dev/null
+	@echo "trace smoke OK (characterize + replay + convert)"
+
+# Golden-figure regression tier only (also part of `make test`).
+golden:
+	$(PYTHON) -m pytest -x -q tests/golden
+
+# Re-baseline the golden figures after an *intentional* behavior change;
+# review the resulting tests/golden/*.json diff like code.
+golden-refresh:
+	$(PYTHON) tools/refresh_goldens.py

@@ -9,6 +9,9 @@ Usage::
     python -m repro fig5                     # Fig. 5
     python -m repro fig6                     # Fig. 6
     python -m repro faults --seed 1234       # fault-injection campaign
+    python -m repro trace characterize examples/sample_msr.csv
+    python -m repro trace replay examples/sample_msr.csv --precondition steady
+    python -m repro trace convert trace.blkparse trace.txt --to native
     python -m repro run --config ssd.cfg --workload SW --commands 1000
     python -m repro profile --workload SR --trace-out trace.json
     python -m repro explore --configs C1,C2,C6,C8
@@ -294,6 +297,100 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_arch(args: argparse.Namespace):
+    if getattr(args, "config", ""):
+        return from_config(load_file(args.config))
+    return SsdArchitecture()
+
+
+def cmd_trace_characterize(args: argparse.Namespace) -> int:
+    """Stream the trace once and print its characterization report."""
+    from .host.traces import (characterize, format_profile, iter_trace,
+                              limit_records)
+    records = limit_records(iter_trace(args.trace, fmt=args.format),
+                            args.limit or None)
+    profile = characterize(records)
+    if args.json:
+        print(render_json({"trace": args.trace,
+                           "profile": profile.to_dict()}))
+    else:
+        print(format_profile(profile, source=args.trace))
+    return 0
+
+
+def cmd_trace_replay(args: argparse.Namespace) -> int:
+    """Replay a trace through one architecture: characterization table +
+    RunResult summary (optionally with span observability on)."""
+    from .core.tracereplay import TraceWorkload, replay_trace
+    from .host.traces import format_profile
+    workload = TraceWorkload.from_file(
+        args.trace, fmt=args.format,
+        honor_issue_times=not args.closed_loop,
+        time_scale=args.time_scale, wrap=not args.no_wrap,
+        precondition=args.precondition,
+        max_commands=args.commands or None)
+    arch = _trace_arch(args)
+    recorder = None
+    if args.trace_out:
+        from .obs import enable_observability
+        recorder = enable_observability()
+    try:
+        outcome = replay_trace(workload, arch=arch)
+    finally:
+        if recorder is not None:
+            from .obs import disable_observability
+            disable_observability()
+    result, profile = outcome.result, outcome.profile
+    if args.json:
+        print(render_json({
+            "trace": args.trace,
+            "sha256": workload.sha256,
+            "architecture": arch.label,
+            "profile": profile.to_dict(),
+            "preconditioning_commands": outcome.preconditioning_commands,
+            "result": result.to_dict(),
+        }))
+    else:
+        print(format_profile(profile, source=args.trace))
+        print()
+        print(f"architecture : {arch.label}")
+        print(f"replay mode  : "
+              f"{'closed-loop' if args.closed_loop else 'open-loop'}"
+              + (f", time x{args.time_scale:g}"
+                 if args.time_scale != 1.0 else ""))
+        if outcome.preconditioning_commands:
+            print(f"precondition : {args.precondition} "
+                  f"({outcome.preconditioning_commands} warm-up commands)")
+        print(f"throughput   : {result.sustained_mbps:.1f} MB/s sustained "
+              f"({result.throughput_mbps:.1f} full-span)")
+        print(f"IOPS         : {result.iops:.0f}")
+        print(f"latency      : mean {result.mean_latency_us:.1f} us, "
+              f"p50 {result.p50_latency_us:.1f}, "
+              f"p95 {result.p95_latency_us:.1f}, "
+              f"p99 {result.p99_latency_us:.1f}")
+        for name, value in result.utilizations.items():
+            print(f"utilization  : {name:<10} {value:6.1%}")
+        if result.failed_commands:
+            print(f"failed       : {result.failed_commands} commands")
+    if args.trace_out:
+        from .obs import write_chrome_trace
+        write_chrome_trace(recorder, args.trace_out)
+        print(f"chrome trace written to {args.trace_out} "
+              f"(load in ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+def cmd_trace_convert(args: argparse.Namespace) -> int:
+    """Convert a trace between formats (auto-detected input)."""
+    from .host.traces import iter_trace, limit_records
+    from .host.traces.formats import write_trace_file
+    records = limit_records(iter_trace(args.src, fmt=args.format),
+                            args.commands or None)
+    lines = write_trace_file(args.dst, records, args.to)
+    print(f"wrote {lines} {args.to} lines to {args.dst}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .core import generate_report
     configs = _parse_configs(args.configs) if args.configs else None
@@ -424,6 +521,68 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", action="store_true",
                          help="emit the breakdown as JSON")
     profile.set_defaults(func=cmd_profile)
+
+    trace = sub.add_parser(
+        "trace", help="real-trace workloads: characterize, replay or "
+                      "convert a native / MSR-Cambridge CSV / blkparse "
+                      "trace file")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    characterize = trace_sub.add_parser(
+        "characterize", help="one streaming pass: mix, footprint, "
+                             "sequentiality, histograms, implied QD")
+    characterize.add_argument("trace", help="trace file (any format)")
+    characterize.add_argument("--format", type=str, default="auto",
+                              help="native | msr | blkparse | auto")
+    characterize.add_argument("--limit", type=int, default=0,
+                              help="only the first N records (0 = all)")
+    characterize.add_argument("--json", action="store_true",
+                              help="emit the profile as JSON")
+    characterize.set_defaults(func=cmd_trace_characterize)
+
+    replay = trace_sub.add_parser(
+        "replay", help="replay the trace through a simulated drive; "
+                       "prints the characterization table and the "
+                       "RunResult summary")
+    replay.add_argument("trace", help="trace file (any format)")
+    replay.add_argument("--format", type=str, default="auto",
+                        help="native | msr | blkparse | auto")
+    replay.add_argument("--config", type=str, default="",
+                        help="architecture config file (flat or JSON)")
+    replay.add_argument("--commands", type=int, default=0,
+                        help="replay only the first N records (0 = all)")
+    replay.add_argument("--closed-loop", action="store_true",
+                        help="ignore trace issue times; saturate the "
+                             "queue (Fig. 3/4 regime)")
+    replay.add_argument("--time-scale", type=float, default=1.0,
+                        help="scale issue times (0.5 = replay 2x faster)")
+    replay.add_argument("--no-wrap", action="store_true",
+                        help="do not wrap LBAs into the simulated "
+                             "drive's capacity")
+    replay.add_argument("--precondition", type=str, default="none",
+                        choices=["none", "fill", "steady"],
+                        help="warm-up before measuring: fill the "
+                             "addressed region / fill + random "
+                             "overwrites (steady state)")
+    replay.add_argument("--trace-out", type=str, default="",
+                        help="record spans during the replay and write "
+                             "a Chrome trace_event JSON here")
+    replay.add_argument("--json", action="store_true",
+                        help="emit profile + result as JSON")
+    replay.set_defaults(func=cmd_trace_replay)
+
+    convert = trace_sub.add_parser(
+        "convert", help="re-encode a trace in another format")
+    convert.add_argument("src", help="input trace (any format)")
+    convert.add_argument("dst", help="output path")
+    convert.add_argument("--format", type=str, default="auto",
+                         help="input format override")
+    convert.add_argument("--to", type=str, default="native",
+                         choices=["native", "msr", "blkparse"],
+                         help="output format")
+    convert.add_argument("--commands", type=int, default=0,
+                         help="convert only the first N records (0 = all)")
+    convert.set_defaults(func=cmd_trace_convert)
 
     report = sub.add_parser("report", help="run everything, emit markdown")
     report.add_argument("--commands", type=int, default=800)

@@ -30,6 +30,8 @@ from .sensitivity import (SensitivityCurve, SensitivityPoint,
 from .sweep import (CODE_VERSION, PointFailure, PointOutcome, PointTimeout,
                     SweepCache, SweepPoint, SweepResult, SweepRunner,
                     SweepSummary, fingerprint, print_progress)
+from .tracereplay import (ReplayOutcome, TraceWorkload, replay_trace,
+                          sha256_file, trace_sweep, trace_sweep_points)
 from .speed import (PLATFORM_CLOCK_HZ, SpeedSample, measure_speed,
                     speed_sweep)
 from .validation import (PAPER_ERROR_MARGINS, REFERENCE_MBPS,
@@ -54,6 +56,8 @@ __all__ = [
     "profile_point",
     "interface_speed", "kernel_microbench", "kernel_speed_report",
     "measure_speed", "render_report", "write_report",
+    "ReplayOutcome", "TraceWorkload", "replay_trace", "sha256_file",
+    "trace_sweep", "trace_sweep_points",
     "render_breakdown_table", "render_json",
     "render_series_table", "render_speed_table", "render_table",
     "render_validation_table", "run_validation", "speed_sweep",

@@ -60,7 +60,14 @@ def canonical(obj: Any) -> Any:
     identical fields (e.g. fixed vs adaptive BCH defaults) never collide;
     enums reduce to type + value.  Unsupported types raise ``TypeError``
     — the caller decides whether that makes the point uncacheable.
+
+    An object may define ``__canonical__()`` to control its own
+    fingerprint form — e.g. :class:`~repro.core.tracereplay.TraceWorkload`
+    substitutes the trace file's content hash for its path, so moving a
+    trace on disk never invalidates cached sweep results.
     """
+    if hasattr(obj, "__canonical__"):
+        return canonical(obj.__canonical__())
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         body = {f.name: canonical(getattr(obj, f.name))
                 for f in dataclasses.fields(obj)}
@@ -140,9 +147,22 @@ def _eval_measure(point: SweepPoint) -> Tuple[Dict[str, Any], int]:
     return payload, result.events
 
 
+def _eval_replay(point: SweepPoint) -> Tuple[Dict[str, Any], int]:
+    """Real-trace replay (workload is a TraceWorkload).
+
+    Deferred import: the replay machinery lives in
+    :mod:`repro.core.tracereplay`, which imports this module's types.
+    Being a module-level function here keeps it picklable for worker
+    pools regardless of start method.
+    """
+    from .tracereplay import evaluate_replay_point
+    return evaluate_replay_point(point)
+
+
 EVALUATORS: Dict[str, Callable[[SweepPoint], Tuple[Dict[str, Any], int]]] = {
     "breakdown": _eval_breakdown,
     "measure": _eval_measure,
+    "replay": _eval_replay,
 }
 
 

@@ -5,91 +5,62 @@ containing the operations to be performed.  During simulation the Host
 Interface model parses the trace file and triggers operations for the
 following components accordingly." (paper, Section III-C1)
 
-Trace format — one command per line::
+The native trace format — one command per line::
 
     <issue_time_us> <R|W|T|F> <lba> <sectors>
 
 ``#`` starts a comment.  ``issue_time_us`` is the earliest issue time; a
 value of 0 for every line reproduces a closed-loop (queue-limited) stream
 like the Fig. 3/4 experiments use.
+
+Real block traces (MSR-Cambridge CSV, blkparse text) are handled by the
+streaming ingestion pipeline in :mod:`repro.host.traces`; the helpers
+here keep the original convenience API (parse whole text, command lists)
+on top of it.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, TYPE_CHECKING
 
-from ..kernel.simtime import us
 from ..kernel.tracing import trace as kernel_trace, trace_enabled
 from .commands import IoCommand, IoOpcode
+from .traces.formats import emit_records, iter_trace, parse_trace_lines
+from .traces.records import TraceError, TraceRecord, records_to_commands
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel import Simulator
     from ..ssd.device import SsdDevice
     from ..ssd.metrics import RunResult
 
-_OPCODE_LETTERS = {
-    "R": IoOpcode.READ,
-    "W": IoOpcode.WRITE,
-    "T": IoOpcode.TRIM,
-    "F": IoOpcode.FLUSH,
-}
-_LETTER_OF = {opcode: letter for letter, opcode in _OPCODE_LETTERS.items()}
-
-
-class TraceError(ValueError):
-    """Malformed trace input."""
+__all__ = ["TraceError", "format_trace", "load_trace", "parse_trace",
+           "play_trace", "save_trace"]
 
 
 def parse_trace(text: str) -> List[IoCommand]:
-    """Parse trace text into a command list (ordered by line)."""
-    commands: List[IoCommand] = []
-    for line_number, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        fields = line.split()
-        if len(fields) != 4:
-            raise TraceError(
-                f"line {line_number}: expected 'time op lba sectors', "
-                f"got {raw!r}")
-        time_text, op_text, lba_text, sectors_text = fields
-        opcode = _OPCODE_LETTERS.get(op_text.upper())
-        if opcode is None:
-            raise TraceError(f"line {line_number}: unknown opcode "
-                             f"{op_text!r}")
-        try:
-            issue_us = float(time_text)
-            lba = int(lba_text)
-            sectors = int(sectors_text)
-        except ValueError as exc:
-            raise TraceError(f"line {line_number}: {exc}") from None
-        if issue_us < 0:
-            raise TraceError(f"line {line_number}: negative issue time")
-        command = IoCommand(opcode, lba, sectors, tag=len(commands))
-        command.issue_time_ps = us(issue_us)
-        commands.append(command)
-    return commands
+    """Parse native trace text into a command list (ordered by line)."""
+    records = parse_trace_lines(text.splitlines(), "native",
+                                source="<string>")
+    return list(records_to_commands(records))
 
 
-def load_trace(path: str) -> List[IoCommand]:
-    """Read and parse a trace file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return parse_trace(handle.read())
+def load_trace(path: str, fmt: str = "auto") -> List[IoCommand]:
+    """Read and parse a trace file (native, MSR CSV or blkparse)."""
+    return list(records_to_commands(iter_trace(path, fmt=fmt)))
 
 
 def format_trace(commands: Iterable[IoCommand]) -> str:
-    """Render commands back into trace text (inverse of parse_trace)."""
-    lines = ["# time_us op lba sectors"]
-    for command in commands:
-        issue_us = max(0, command.issue_time_ps) / 1e6 \
-            if command.issue_time_ps >= 0 else 0.0
-        lines.append(f"{issue_us:.3f} {_LETTER_OF[command.opcode]} "
-                     f"{command.lba} {command.sectors}")
-    return "\n".join(lines) + "\n"
+    """Render commands back into native trace text (inverse of
+    :func:`parse_trace`)."""
+    records = (TraceRecord(issue_ps=max(0, command.issue_time_ps),
+                           opcode=command.opcode, lba=command.lba,
+                           sectors=command.sectors)
+               for command in commands)
+    return "\n".join(emit_records(records, "native")) + "\n"
 
 
 def save_trace(path: str, commands: Iterable[IoCommand]) -> None:
-    """Write commands to a trace file."""
+    """Write commands to a native-format trace file."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(format_trace(commands))
 

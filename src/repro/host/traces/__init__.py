@@ -1,0 +1,41 @@
+"""Real-trace workload ingestion.
+
+The paper's host interfaces are driven by a "command/data trace player"
+(Section III-C1); this package grows that player from the toy native
+format into a real ingestion pipeline:
+
+* :mod:`repro.host.traces.formats` — streaming parsers for the native
+  format, MSR-Cambridge CSV and blkparse/blktrace text, with format
+  auto-detection and ``file:line`` diagnostics on malformed input,
+* :mod:`repro.host.traces.transforms` — LBA wrap-to-geometry and
+  time-scaling generators so any trace fits any simulated device,
+* :mod:`repro.host.traces.characterize` — a single-pass workload
+  characterization report (mix, footprint, sequentiality, histograms,
+  implied queue depth),
+* :mod:`repro.host.traces.precondition` — steady-state preconditioning
+  command streams (fill + random overwrite) run before measurement.
+
+Every parser and transform is an iterator over :class:`TraceRecord`;
+peak memory is independent of trace length.
+"""
+
+from .characterize import TraceProfile, characterize, format_profile
+from .formats import (TRACE_FORMATS, detect_format, detect_format_of_file,
+                      emit_records, iter_trace, parse_trace_lines,
+                      write_trace_file)
+from .precondition import (PRECONDITION_MODES, preconditioning_commands,
+                           run_preconditioning)
+from .records import TraceError, TraceRecord, records_to_commands
+from .transforms import (limit_records, rebase_time, scale_time,
+                         wrap_to_capacity, wrap_to_device)
+
+__all__ = [
+    "TRACE_FORMATS", "TraceError", "TraceProfile", "TraceRecord",
+    "PRECONDITION_MODES",
+    "characterize", "detect_format", "detect_format_of_file",
+    "emit_records", "format_profile", "iter_trace", "limit_records",
+    "parse_trace_lines", "preconditioning_commands",
+    "rebase_time", "records_to_commands", "run_preconditioning",
+    "scale_time", "wrap_to_capacity", "wrap_to_device",
+    "write_trace_file",
+]

@@ -1,0 +1,280 @@
+"""Single-pass trace characterization.
+
+Design-space conclusions only hold under realistic workloads (EagleTree's
+central warning), so before a trace drives an experiment the platform
+reports *what kind* of workload it actually is: read/write mix,
+footprint, sequentiality, request-size and inter-arrival histograms, and
+the queue depth the traced host implied.  Everything is computed in one
+streaming pass; only the footprint tracker grows with the trace (one set
+entry per unique 4 KiB block touched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..commands import IoOpcode
+from .records import TraceRecord
+
+#: Footprint granularity: unique-block tracking at 4 KiB.
+_FOOTPRINT_BLOCK_BYTES = 4096
+
+#: Two requests closer than this are "back to back" for the burst-based
+#: queue-depth estimate used when the trace has no response times.
+_BURST_GAP_PS = 1_000_000  # 1 us
+
+_SIZE_BUCKETS_BYTES: Tuple[int, ...] = (
+    4096, 8192, 16384, 32768, 65536, 131072, 262144)
+
+_ARRIVAL_BUCKETS_PS: Tuple[Tuple[str, int], ...] = (
+    ("<1us", 1_000_000),
+    ("1-10us", 10_000_000),
+    ("10-100us", 100_000_000),
+    ("100us-1ms", 1_000_000_000),
+    ("1-10ms", 10_000_000_000),
+)
+_ARRIVAL_OVERFLOW = ">10ms"
+
+
+def _size_bucket(nbytes: int) -> str:
+    for edge in _SIZE_BUCKETS_BYTES:
+        if nbytes <= edge:
+            return f"<={edge // 1024}K"
+    return f">{_SIZE_BUCKETS_BYTES[-1] // 1024}K"
+
+
+def _arrival_bucket(gap_ps: int) -> str:
+    for label, edge in _ARRIVAL_BUCKETS_PS:
+        if gap_ps < edge:
+            return label
+    return _ARRIVAL_OVERFLOW
+
+
+@dataclass
+class TraceProfile:
+    """The characterization report for one record stream."""
+
+    records: int = 0
+    reads: int = 0
+    writes: int = 0
+    trims: int = 0
+    flushes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: Unique 4 KiB blocks touched x 4096 (the working-set size).
+    footprint_bytes: int = 0
+    #: max(end LBA) - min(LBA), in bytes (the addressed span).
+    span_bytes: int = 0
+    #: Fraction of data-carrying requests (after the first) starting
+    #: exactly where the previous one ended.
+    sequential_fraction: float = 0.0
+    duration_s: float = 0.0
+    mean_iops: float = 0.0
+    mean_size_bytes: float = 0.0
+    #: Request-size histogram (power-of-two byte buckets).
+    size_hist: Dict[str, int] = field(default_factory=dict)
+    #: Inter-arrival-gap histogram (log-spaced time buckets).
+    interarrival_hist: Dict[str, int] = field(default_factory=dict)
+    #: Mean requests in flight.  Little's law over the traced response
+    #: times when the format records them (MSR does); otherwise the mean
+    #: length of back-to-back arrival bursts (gap < 1 us).
+    implied_queue_depth: float = 0.0
+    #: True when implied_queue_depth came from real response times.
+    has_response_times: bool = False
+
+    @property
+    def read_fraction(self) -> float:
+        data = self.reads + self.writes
+        return self.reads / data if data else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def dominant_pattern(self) -> str:
+        """'sequential' or 'random' — the key the WAF model expects."""
+        return "sequential" if self.sequential_fraction >= 0.5 \
+            else "random"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "records": self.records,
+            "reads": self.reads,
+            "writes": self.writes,
+            "trims": self.trims,
+            "flushes": self.flushes,
+            "read_fraction": self.read_fraction,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "footprint_bytes": self.footprint_bytes,
+            "span_bytes": self.span_bytes,
+            "sequential_fraction": self.sequential_fraction,
+            "dominant_pattern": self.dominant_pattern,
+            "duration_s": self.duration_s,
+            "mean_iops": self.mean_iops,
+            "mean_size_bytes": self.mean_size_bytes,
+            "size_hist": dict(self.size_hist),
+            "interarrival_hist": dict(self.interarrival_hist),
+            "implied_queue_depth": self.implied_queue_depth,
+            "has_response_times": self.has_response_times,
+        }
+
+
+def characterize(records: Iterable[TraceRecord]) -> TraceProfile:
+    """One streaming pass over ``records`` -> :class:`TraceProfile`."""
+    profile = TraceProfile()
+    touched_blocks = set()
+    min_lba: Optional[int] = None
+    max_end = 0
+    first_ps: Optional[int] = None
+    last_ps = 0
+    last_end: Optional[int] = None
+    sequential_hits = 0
+    data_requests = 0
+    prev_issue: Optional[int] = None
+    response_sum = 0
+    last_completion = 0
+    burst_len = 0
+    burst_sum = 0
+    burst_count = 0
+
+    for record in records:
+        profile.records += 1
+        if record.opcode is IoOpcode.READ:
+            profile.reads += 1
+            profile.bytes_read += record.nbytes
+        elif record.opcode is IoOpcode.WRITE:
+            profile.writes += 1
+            profile.bytes_written += record.nbytes
+        elif record.opcode is IoOpcode.TRIM:
+            profile.trims += 1
+        else:
+            profile.flushes += 1
+
+        if first_ps is None:
+            first_ps = record.issue_ps
+        last_ps = max(last_ps, record.issue_ps)
+
+        if prev_issue is not None:
+            gap = max(0, record.issue_ps - prev_issue)
+            label = _arrival_bucket(gap)
+            profile.interarrival_hist[label] = \
+                profile.interarrival_hist.get(label, 0) + 1
+            if gap < _BURST_GAP_PS:
+                burst_len += 1
+            else:
+                burst_sum += burst_len + 1
+                burst_count += 1
+                burst_len = 0
+        prev_issue = record.issue_ps
+
+        if record.response_ps is not None:
+            profile.has_response_times = True
+            response_sum += record.response_ps
+            last_completion = max(last_completion,
+                                  record.issue_ps + record.response_ps)
+
+        if record.sectors > 0:
+            data_requests += 1
+            label = _size_bucket(record.nbytes)
+            profile.size_hist[label] = profile.size_hist.get(label, 0) + 1
+            if last_end is not None and record.lba == last_end:
+                sequential_hits += 1
+            last_end = record.end_lba
+            if min_lba is None or record.lba < min_lba:
+                min_lba = record.lba
+            max_end = max(max_end, record.end_lba)
+            start_block = record.lba * 512 // _FOOTPRINT_BLOCK_BYTES
+            end_block = (record.end_lba * 512 - 1) \
+                // _FOOTPRINT_BLOCK_BYTES
+            touched_blocks.update(range(start_block, end_block + 1))
+
+    if profile.records == 0:
+        return profile
+    if prev_issue is not None:
+        burst_sum += burst_len + 1
+        burst_count += 1
+
+    profile.footprint_bytes = len(touched_blocks) * _FOOTPRINT_BLOCK_BYTES
+    if min_lba is not None:
+        profile.span_bytes = (max_end - min_lba) * 512
+    if data_requests > 1:
+        profile.sequential_fraction = sequential_hits / (data_requests - 1)
+    if data_requests:
+        profile.mean_size_bytes = profile.total_bytes / data_requests
+
+    span_ps = (last_ps - (first_ps or 0))
+    profile.duration_s = span_ps / 1e12
+    if span_ps > 0:
+        profile.mean_iops = profile.records / profile.duration_s
+    if profile.has_response_times:
+        window = max(last_completion - (first_ps or 0), 1)
+        profile.implied_queue_depth = response_sum / window
+    elif burst_count:
+        profile.implied_queue_depth = burst_sum / burst_count
+    return profile
+
+
+def format_profile(profile: TraceProfile, source: str = "") -> str:
+    """Render the characterization report as an aligned text table."""
+    def fmt_bytes(n: float) -> str:
+        for unit in ("B", "KiB", "MiB", "GiB"):
+            if n < 1024 or unit == "GiB":
+                return f"{n:.1f} {unit}" if unit != "B" \
+                    else f"{int(n)} {unit}"
+            n /= 1024
+        return f"{n:.1f} GiB"
+
+    rows: List[Tuple[str, str]] = []
+    if source:
+        rows.append(("trace", source))
+    rows.extend([
+        ("requests", f"{profile.records} "
+                     f"({profile.reads} R / {profile.writes} W"
+                     + (f" / {profile.trims} T" if profile.trims else "")
+                     + (f" / {profile.flushes} F"
+                        if profile.flushes else "") + ")"),
+        ("read fraction", f"{profile.read_fraction:.1%}"),
+        ("data moved", f"{fmt_bytes(profile.total_bytes)} "
+                       f"({fmt_bytes(profile.bytes_read)} read, "
+                       f"{fmt_bytes(profile.bytes_written)} written)"),
+        ("footprint", fmt_bytes(profile.footprint_bytes)),
+        ("addressed span", fmt_bytes(profile.span_bytes)),
+        ("sequentiality", f"{profile.sequential_fraction:.1%} "
+                          f"({profile.dominant_pattern})"),
+        ("mean request", fmt_bytes(profile.mean_size_bytes)),
+        ("duration", f"{profile.duration_s * 1e3:.3f} ms"),
+        ("mean rate", f"{profile.mean_iops:.0f} IOPS"),
+        ("implied QD", f"{profile.implied_queue_depth:.2f} "
+                       + ("(Little's law over traced response times)"
+                          if profile.has_response_times
+                          else "(arrival-burst estimate)")),
+    ])
+    width = max(len(name) for name, __ in rows)
+    lines = [f"{name:<{width}} : {value}" for name, value in rows]
+    hist_lines = _format_hists(profile)
+    return "\n".join(lines + hist_lines)
+
+
+def _format_hists(profile: TraceProfile) -> List[str]:
+    lines: List[str] = []
+    for title, hist, order in (
+            ("request sizes", profile.size_hist,
+             [f"<={e // 1024}K" for e in _SIZE_BUCKETS_BYTES]
+             + [f">{_SIZE_BUCKETS_BYTES[-1] // 1024}K"]),
+            ("inter-arrival gaps", profile.interarrival_hist,
+             [label for label, __ in _ARRIVAL_BUCKETS_PS]
+             + [_ARRIVAL_OVERFLOW])):
+        if not hist:
+            continue
+        total = sum(hist.values())
+        lines.append(f"{title}:")
+        for label in order:
+            count = hist.get(label, 0)
+            if not count:
+                continue
+            bar = "#" * max(1, round(24 * count / total))
+            lines.append(f"  {label:>9} {count:>7}  {bar}")
+    return lines

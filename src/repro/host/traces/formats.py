@@ -1,0 +1,347 @@
+"""Streaming trace parsers: native, MSR-Cambridge CSV, blkparse text.
+
+All three parsers are generators over lines — a multi-gigabyte trace
+replays with O(1) parser memory.  Malformed input always raises
+:class:`TraceError` carrying ``<source>:<line>``; no input crashes a
+parser with anything else.
+
+Formats
+-------
+``native``
+    The repo's own format (one request per line)::
+
+        <issue_time_us> <R|W|T|F> <lba> <sectors>
+
+    ``#`` starts a comment; issue times are kept as-is.
+
+``msr``
+    MSR-Cambridge block traces (SNIA IOTTA), 7 comma-separated columns::
+
+        Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+
+    ``Timestamp`` and ``ResponseTime`` are Windows filetime ticks
+    (100 ns); ``Offset``/``Size`` are bytes.  Timestamps are rebased so
+    the first record issues at t=0.
+
+``blkparse``
+    ``blkparse`` standard text output.  Only queue records (action
+    ``Q``) become requests — blkparse emits one line per lifecycle stage
+    and counting more than one would duplicate every request.  Lines
+    whose first token is not a ``major,minor`` device (per-CPU summary
+    blocks, totals) are skipped, as are non-``Q`` records; a line that
+    *starts* like a queue record but cannot be parsed is an error.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
+
+from ..commands import IoOpcode
+from .records import TraceError, TraceRecord
+
+TRACE_FORMATS = ("native", "msr", "blkparse")
+
+#: Windows filetime tick (MSR timestamp/response unit): 100 ns in ps.
+_FILETIME_TICK_PS = 100_000
+
+_NATIVE_OPCODES = {
+    "R": IoOpcode.READ,
+    "W": IoOpcode.WRITE,
+    "T": IoOpcode.TRIM,
+    "F": IoOpcode.FLUSH,
+}
+_NATIVE_LETTER = {opcode: letter
+                  for letter, opcode in _NATIVE_OPCODES.items()}
+
+_DEVICE_RE = re.compile(r"^\d+,\d+$")
+
+
+def _error(source: str, line_number: int, message: str) -> TraceError:
+    return TraceError(f"{source}:{line_number}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Native format
+
+
+def _parse_native(lines: Iterable[str], source: str
+                  ) -> Iterator[TraceRecord]:
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) != 4:
+            raise _error(source, line_number,
+                         f"expected 'time op lba sectors', got {raw!r}")
+        time_text, op_text, lba_text, sectors_text = fields
+        opcode = _NATIVE_OPCODES.get(op_text.upper())
+        if opcode is None:
+            raise _error(source, line_number,
+                         f"unknown opcode {op_text!r}")
+        try:
+            issue_us = float(time_text)
+            lba = int(lba_text)
+            sectors = int(sectors_text)
+        except ValueError as exc:
+            raise _error(source, line_number, str(exc)) from None
+        if issue_us < 0:
+            raise _error(source, line_number, "negative issue time")
+        try:
+            yield TraceRecord(issue_ps=int(round(issue_us * 1e6)),
+                              opcode=opcode, lba=lba, sectors=sectors)
+        except ValueError as exc:
+            raise _error(source, line_number, str(exc)) from None
+
+
+def _emit_native(records: Iterable[TraceRecord]) -> Iterator[str]:
+    yield "# time_us op lba sectors"
+    for record in records:
+        yield (f"{record.issue_ps / 1e6:.3f} "
+               f"{_NATIVE_LETTER[record.opcode]} "
+               f"{record.lba} {record.sectors}")
+
+
+# ----------------------------------------------------------------------
+# MSR-Cambridge CSV
+
+
+_MSR_TYPES = {
+    "read": IoOpcode.READ, "r": IoOpcode.READ,
+    "write": IoOpcode.WRITE, "w": IoOpcode.WRITE,
+}
+
+
+def _parse_msr(lines: Iterable[str], source: str) -> Iterator[TraceRecord]:
+    first_ticks: Optional[int] = None
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if first_ticks is None and line.lower().startswith("timestamp"):
+            continue  # optional header row
+        fields = line.split(",")
+        if len(fields) != 7:
+            raise _error(source, line_number,
+                         f"expected 7 CSV fields "
+                         f"(Timestamp,Hostname,DiskNumber,Type,Offset,"
+                         f"Size,ResponseTime), got {len(fields)}")
+        ts_text, _host, _disk, type_text, offset_text, size_text, \
+            response_text = fields
+        opcode = _MSR_TYPES.get(type_text.strip().lower())
+        if opcode is None:
+            raise _error(source, line_number,
+                         f"unknown request type {type_text!r}")
+        try:
+            ticks = int(ts_text)
+            offset = int(offset_text)
+            size = int(size_text)
+            response_ticks = int(response_text)
+        except ValueError as exc:
+            raise _error(source, line_number, str(exc)) from None
+        if offset < 0:
+            raise _error(source, line_number, "negative offset")
+        if size <= 0:
+            raise _error(source, line_number,
+                         f"size must be positive, got {size}")
+        if response_ticks < 0:
+            raise _error(source, line_number, "negative response time")
+        if first_ticks is None:
+            first_ticks = ticks
+        issue_ps = max(0, ticks - first_ticks) * _FILETIME_TICK_PS
+        yield TraceRecord(
+            issue_ps=issue_ps, opcode=opcode, lba=offset // 512,
+            sectors=max(1, (size + 511) // 512),
+            response_ps=response_ticks * _FILETIME_TICK_PS)
+
+
+def _emit_msr(records: Iterable[TraceRecord]) -> Iterator[str]:
+    kind_of = {IoOpcode.READ: "Read", IoOpcode.WRITE: "Write"}
+    for record in records:
+        kind = kind_of.get(record.opcode)
+        if kind is None:
+            raise TraceError(f"MSR-Cambridge format has no "
+                             f"{record.opcode.name} request type")
+        response = (record.response_ps or 0) // _FILETIME_TICK_PS
+        yield (f"{record.issue_ps // _FILETIME_TICK_PS},trace,0,{kind},"
+               f"{record.lba * 512},{record.nbytes},{response}")
+
+
+# ----------------------------------------------------------------------
+# blkparse text output
+
+
+def _rwbs_opcode(rwbs: str) -> Optional[IoOpcode]:
+    """Map a blkparse RWBS flag string to an opcode (None = skip)."""
+    if "D" in rwbs:
+        return IoOpcode.TRIM
+    if "R" in rwbs:
+        return IoOpcode.READ
+    if "W" in rwbs:
+        return IoOpcode.WRITE
+    if "F" in rwbs:
+        return IoOpcode.FLUSH
+    return None  # 'N' (no data) and friends
+
+
+def _parse_blkparse(lines: Iterable[str], source: str
+                    ) -> Iterator[TraceRecord]:
+    first_ps: Optional[int] = None
+    saw_record_line = False
+    for line_number, raw in enumerate(lines, start=1):
+        tokens = raw.split()
+        if not tokens or not _DEVICE_RE.match(tokens[0]):
+            continue  # summary block, totals, blank line
+        saw_record_line = True
+        if len(tokens) < 6:
+            raise _error(source, line_number,
+                         f"truncated blkparse record: {raw!r}")
+        action = tokens[5]
+        if action != "Q":
+            continue  # other lifecycle stages of the same request
+        if len(tokens) < 10 or tokens[8] != "+":
+            raise _error(source, line_number,
+                         f"expected 'sector + count' payload in "
+                         f"queue record: {raw!r}")
+        time_text, rwbs = tokens[3], tokens[6]
+        try:
+            if "." in time_text:
+                seconds_text, frac_text = time_text.split(".", 1)
+                if not frac_text.isdigit():
+                    raise ValueError(f"bad timestamp {time_text!r}")
+                nanos = int(frac_text.ljust(9, "0")[:9])
+            else:
+                seconds_text, nanos = time_text, 0
+            issue_ps = int(seconds_text) * 10**12 + nanos * 1000
+            sector = int(tokens[7])
+            count = int(tokens[9])
+        except ValueError as exc:
+            raise _error(source, line_number, str(exc)) from None
+        opcode = _rwbs_opcode(rwbs)
+        if opcode is None:
+            continue  # no-payload record (e.g. RWBS 'N')
+        if first_ps is None:
+            first_ps = issue_ps
+        try:
+            yield TraceRecord(issue_ps=max(0, issue_ps - first_ps),
+                              opcode=opcode, lba=sector, sectors=count)
+        except ValueError as exc:
+            raise _error(source, line_number, str(exc)) from None
+    if not saw_record_line:
+        raise TraceError(f"{source}: no blkparse records found "
+                         f"(expected lines starting with 'major,minor')")
+
+
+def _emit_blkparse(records: Iterable[TraceRecord]) -> Iterator[str]:
+    rwbs_of = {IoOpcode.READ: "R", IoOpcode.WRITE: "W",
+               IoOpcode.TRIM: "D", IoOpcode.FLUSH: "F"}
+    for seq, record in enumerate(records, start=1):
+        seconds, rest = divmod(record.issue_ps, 10**12)
+        yield (f"  8,0    0 {seq:>8} {seconds:>5}.{rest // 1000:09d} "
+               f"{1000 + seq:>5}  Q {rwbs_of[record.opcode]} "
+               f"{record.lba} + {record.sectors} [trace]")
+
+
+# ----------------------------------------------------------------------
+# Registry, detection, entry points
+
+
+_PARSERS: Dict[str, Callable[[Iterable[str], str],
+                             Iterator[TraceRecord]]] = {
+    "native": _parse_native,
+    "msr": _parse_msr,
+    "blkparse": _parse_blkparse,
+}
+
+_EMITTERS: Dict[str, Callable[[Iterable[TraceRecord]],
+                              Iterator[str]]] = {
+    "native": _emit_native,
+    "msr": _emit_msr,
+    "blkparse": _emit_blkparse,
+}
+
+
+def detect_format(sample_lines: Iterable[str],
+                  source: str = "<trace>") -> str:
+    """Identify the trace format from the first content lines.
+
+    Detection keys on line *shape*, so it survives shuffled record
+    order: every record of a format matches the same test.
+    """
+    for raw in sample_lines:
+        line = raw.split("#", 1)[0].strip() if "#" in raw else raw.strip()
+        if not line:
+            continue
+        if line.lower().startswith("timestamp") and "," in line:
+            return "msr"
+        tokens = line.split()
+        if _DEVICE_RE.match(tokens[0]) and len(tokens) >= 6:
+            return "blkparse"
+        comma_fields = line.split(",")
+        if len(comma_fields) == 7 and comma_fields[0].strip().isdigit():
+            return "msr"
+        if len(tokens) == 4 and tokens[1].upper() in _NATIVE_OPCODES:
+            return "native"
+        raise TraceError(
+            f"{source}: unrecognized trace format (not native, "
+            f"MSR-Cambridge CSV or blkparse): {raw!r}")
+    raise TraceError(f"{source}: empty trace (no content lines)")
+
+
+def detect_format_of_file(path: str, sniff_bytes: int = 65536) -> str:
+    """:func:`detect_format` on a file prefix (never reads it whole)."""
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        prefix = handle.read(sniff_bytes)
+    return detect_format(prefix.splitlines(), source=path)
+
+
+def parse_trace_lines(lines: Iterable[str], fmt: str,
+                      source: str = "<trace>") -> Iterator[TraceRecord]:
+    """Parse an explicit line stream (``fmt`` must be concrete)."""
+    parser = _PARSERS.get(fmt)
+    if parser is None:
+        raise TraceError(f"unknown trace format {fmt!r}; "
+                         f"choose from {list(TRACE_FORMATS)}")
+    return parser(lines, source)
+
+
+def iter_trace(path: str, fmt: str = "auto") -> Iterator[TraceRecord]:
+    """Stream records from a trace file, auto-detecting the format.
+
+    The file is read line by line; peak memory is independent of trace
+    length (verified by ``tests/host/test_trace_streaming.py``).
+    """
+    if fmt == "auto":
+        fmt = detect_format_of_file(path)
+    parser = _PARSERS.get(fmt)
+    if parser is None:
+        raise TraceError(f"unknown trace format {fmt!r}; "
+                         f"choose from {list(TRACE_FORMATS)} or 'auto'")
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        yield from parser(handle, path)
+
+
+def emit_records(records: Iterable[TraceRecord], fmt: str) -> Iterator[str]:
+    """Render records as trace lines in ``fmt`` (inverse of parsing).
+
+    Times quantize to the format's native resolution (µs for native,
+    100 ns ticks for MSR, ns for blkparse), so emit→parse→emit is a
+    fixed point for any parsed stream.
+    """
+    emitter = _EMITTERS.get(fmt)
+    if emitter is None:
+        raise TraceError(f"unknown trace format {fmt!r}; "
+                         f"choose from {list(TRACE_FORMATS)}")
+    return emitter(records)
+
+
+def write_trace_file(path: str, records: Iterable[TraceRecord],
+                     fmt: str) -> int:
+    """Write records to ``path`` in ``fmt``; returns the line count."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in emit_records(records, fmt):
+            handle.write(line + "\n")
+            lines += 1
+    return lines

@@ -1,0 +1,64 @@
+"""The normalized trace record every parser and transform speaks.
+
+A :class:`TraceRecord` is one host request, independent of the on-disk
+trace format: picosecond issue time, opcode, 512-byte-sector extent and
+(when the source trace measured it, e.g. MSR-Cambridge) the original
+response time.  Parsers yield them lazily; :func:`records_to_commands`
+turns a record stream into the :class:`~repro.host.commands.IoCommand`
+stream the runner executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..commands import IoCommand, IoOpcode
+
+
+class TraceError(ValueError):
+    """Malformed trace input.
+
+    Parsers raise it with ``<source>:<line>:`` prefixes so a bad line in
+    a million-line trace is reported exactly, never as a bare crash.
+    """
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One parsed trace request, normalized to simulator units."""
+
+    issue_ps: int
+    opcode: IoOpcode
+    lba: int
+    sectors: int
+    #: Response time measured on the traced system (MSR-Cambridge records
+    #: one); ``None`` when the format carries no completion information.
+    response_ps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.issue_ps < 0:
+            raise ValueError(f"issue_ps must be >= 0, got {self.issue_ps}")
+        if self.lba < 0:
+            raise ValueError(f"lba must be >= 0, got {self.lba}")
+        if self.sectors < 0 or (self.sectors == 0
+                                and self.opcode is not IoOpcode.FLUSH):
+            raise ValueError(f"sectors must be >= 1, got {self.sectors}")
+
+    @property
+    def nbytes(self) -> int:
+        return self.sectors * 512
+
+    @property
+    def end_lba(self) -> int:
+        return self.lba + self.sectors
+
+
+def records_to_commands(records: Iterable[TraceRecord]
+                        ) -> Iterator[IoCommand]:
+    """Turn a record stream into tagged, issue-timed ``IoCommand``s."""
+    for tag, record in enumerate(records):
+        command = IoCommand(record.opcode, record.lba, record.sectors,
+                            tag=tag)
+        command.issue_time_ps = record.issue_ps
+        yield command

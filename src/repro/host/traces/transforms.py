@@ -1,0 +1,98 @@
+"""Record-stream transforms: fit any trace to any simulated device.
+
+All transforms are generators — they compose with the streaming parsers
+without materializing the trace.  A typical replay pipeline::
+
+    records = iter_trace(path)                      # parse
+    records = wrap_to_device(records, arch)         # fit the geometry
+    records = scale_time(records, 0.1)              # 10x faster arrivals
+    commands = records_to_commands(records)         # ready to run
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from .records import TraceRecord
+
+
+def wrap_to_capacity(records: Iterable[TraceRecord],
+                     capacity_sectors: int) -> Iterator[TraceRecord]:
+    """Wrap LBAs into ``[0, capacity_sectors)`` so a trace captured on a
+    larger disk fits the simulated drive.
+
+    The modulo keeps the access *pattern* (two requests to the same
+    original LBA still collide after wrapping); a request that would
+    cross the capacity boundary is shifted back, and one larger than the
+    whole device is clamped to it.
+    """
+    if capacity_sectors < 1:
+        raise ValueError(f"capacity_sectors must be >= 1, "
+                         f"got {capacity_sectors}")
+    for record in records:
+        sectors = min(record.sectors, capacity_sectors)
+        lba = record.lba % capacity_sectors
+        if lba + sectors > capacity_sectors:
+            lba = capacity_sectors - sectors
+        if lba == record.lba and sectors == record.sectors:
+            yield record
+        else:
+            yield TraceRecord(issue_ps=record.issue_ps,
+                              opcode=record.opcode, lba=lba,
+                              sectors=sectors,
+                              response_ps=record.response_ps)
+
+
+def wrap_to_device(records: Iterable[TraceRecord],
+                   arch) -> Iterator[TraceRecord]:
+    """:func:`wrap_to_capacity` against an architecture's user capacity."""
+    return wrap_to_capacity(records, arch.user_capacity_bytes // 512)
+
+
+def scale_time(records: Iterable[TraceRecord],
+               factor: float) -> Iterator[TraceRecord]:
+    """Scale issue times by ``factor`` (0.5 = replay twice as fast).
+
+    Response-time hints scale with the clock so Little's-law estimates
+    stay consistent.
+    """
+    if factor <= 0:
+        raise ValueError(f"time scale factor must be positive, "
+                         f"got {factor}")
+    for record in records:
+        response = record.response_ps
+        yield TraceRecord(
+            issue_ps=int(round(record.issue_ps * factor)),
+            opcode=record.opcode, lba=record.lba, sectors=record.sectors,
+            response_ps=None if response is None
+            else int(round(response * factor)))
+
+
+def rebase_time(records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+    """Shift issue times so the first record issues at t=0."""
+    base: Optional[int] = None
+    for record in records:
+        if base is None:
+            base = record.issue_ps
+        if base == 0:
+            yield record
+        else:
+            yield TraceRecord(issue_ps=record.issue_ps - base
+                              if record.issue_ps >= base else 0,
+                              opcode=record.opcode, lba=record.lba,
+                              sectors=record.sectors,
+                              response_ps=record.response_ps)
+
+
+def limit_records(records: Iterable[TraceRecord],
+                  max_records: Optional[int]) -> Iterator[TraceRecord]:
+    """Pass through at most ``max_records`` records (None = all)."""
+    if max_records is None:
+        yield from records
+        return
+    if max_records < 1:
+        raise ValueError(f"max_records must be >= 1, got {max_records}")
+    for index, record in enumerate(records):
+        if index >= max_records:
+            return
+        yield record

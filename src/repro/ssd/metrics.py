@@ -141,6 +141,12 @@ def run_workload(sim: Simulator, device: SsdDevice, workload: Workload,
     completions = []  # (complete_time_ps, nbytes) in completion order
     events_before = sim.events_processed
     wall_before = sim.wall_seconds
+    # Measurement window start: non-zero when an earlier phase (e.g.
+    # steady-state preconditioning) already ran on this device.  All
+    # throughput figures are window-relative so warm-up work never
+    # inflates or dilutes the measured numbers.
+    t_start = sim.now
+    bytes_before = device.bytes_completed
 
     def issue_one(command: IoCommand):
         if honor_issue_times and command.issue_time_ps > sim.now:
@@ -185,8 +191,9 @@ def run_workload(sim: Simulator, device: SsdDevice, workload: Workload,
 
     sim.run(until=sim.process(driver()))
 
-    span = device.last_completion_ps or sim.now
-    total_bytes = device.bytes_completed
+    last = device.last_completion_ps
+    span = (last if last > t_start else sim.now) - t_start
+    total_bytes = device.bytes_completed - bytes_before
     seconds = span / 1e12 if span else 0.0
     mean_latency = (sum(latencies) / len(latencies) / 1e6) if latencies else 0
     max_latency = (max(latencies) / 1e6) if latencies else 0
@@ -195,7 +202,7 @@ def run_workload(sim: Simulator, device: SsdDevice, workload: Workload,
     return RunResult(
         label=label or f"{device.arch.label}/{workload.pattern_name}",
         throughput_mbps=(total_bytes / 1e6 / seconds) if seconds else 0.0,
-        sustained_mbps=_sustained_mbps(completions),
+        sustained_mbps=_sustained_mbps(completions, t_start=t_start),
         iops=(len(latencies) / seconds) if seconds else 0.0,
         commands=len(latencies),
         bytes_moved=total_bytes,
@@ -228,14 +235,21 @@ def _latency_percentiles_us(latencies) -> tuple:
     return pick(0.50), pick(0.95), pick(0.99)
 
 
-def _sustained_mbps(completions, warmup_fraction: float = 0.5) -> float:
-    """Post-warmup throughput: skips the initial cache-fill transient."""
+def _sustained_mbps(completions, warmup_fraction: float = 0.5,
+                    t_start: int = 0) -> float:
+    """Post-warmup throughput: skips the initial cache-fill transient.
+
+    ``t_start`` is the measurement-window start; it only matters for the
+    short-trace fallback, which would otherwise divide by time since the
+    simulation began instead of since the window opened.
+    """
     if len(completions) < 8:
         if not completions:
             return 0.0
         last_time, __ = completions[-1]
+        span = last_time - t_start
         total = sum(nbytes for __, nbytes in completions)
-        return total / 1e6 / (last_time / 1e12) if last_time else 0.0
+        return total / 1e6 / (span / 1e12) if span > 0 else 0.0
     ordered = sorted(completions)
     cut = int(len(ordered) * warmup_fraction)
     window_start = ordered[cut - 1][0] if cut else 0

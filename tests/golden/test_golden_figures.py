@@ -1,0 +1,50 @@
+"""Golden-figure regression tier.
+
+The stack is deterministic end to end, so the summary metrics of the
+paper figures (and of the bundled sample-trace replay) are pinned as
+checked-in JSON and asserted **exactly equal** — not approximately.  Any
+diff here means a future PR changed simulated behavior; either it's a
+bug, or the change is intentional and `make golden-refresh` re-baselines
+it as a reviewed artifact.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.goldens import (GOLDENS, compute_golden, golden_path,
+                                load_golden, serialize_golden)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_golden_matches_checked_in_baseline(name):
+    computed = compute_golden(name, REPO_ROOT)
+    baseline = load_golden(name, REPO_ROOT)
+    assert computed == baseline, (
+        f"golden {name!r} drifted from tests/golden/{name}.json — if the "
+        f"behavior change is intentional, run `make golden-refresh` and "
+        f"commit the reviewed diff")
+    # Byte-level check too: a refresh on an unchanged tree must be a
+    # no-op diff, so the serialized form is part of the contract.
+    with open(golden_path(name, REPO_ROOT), "r", encoding="utf-8") as fh:
+        assert serialize_golden(computed) == fh.read()
+
+
+def test_no_stale_golden_files():
+    """Every checked-in golden has a definition (and vice versa)."""
+    directory = os.path.dirname(os.path.abspath(__file__))
+    on_disk = {name[:-5] for name in os.listdir(directory)
+               if name.endswith(".json")}
+    assert on_disk == set(GOLDENS)
+
+
+def test_goldens_are_json_safe():
+    """No Infinity/NaN tokens: every golden reloads with a strict parser."""
+    for name in GOLDENS:
+        with open(golden_path(name, REPO_ROOT), encoding="utf-8") as fh:
+            json.loads(fh.read(), parse_constant=lambda token: pytest.fail(
+                f"golden {name!r} contains non-JSON token {token!r}"))

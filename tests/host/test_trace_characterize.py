@@ -1,0 +1,191 @@
+"""Characterization and transform semantics.
+
+The characterization report steers experiment setup (pattern key for the
+WAF model, span for preconditioning), so its numbers are pinned on small
+hand-computable streams.
+"""
+
+import pytest
+
+from repro.host.commands import IoOpcode
+from repro.host.traces import (TraceRecord, characterize, format_profile,
+                               limit_records, rebase_time, scale_time,
+                               wrap_to_capacity)
+
+
+def rec(t_us, op, lba, sectors, response_us=None):
+    return TraceRecord(
+        issue_ps=int(t_us * 1e6), opcode=op, lba=lba, sectors=sectors,
+        response_ps=None if response_us is None
+        else int(response_us * 1e6))
+
+
+# ----------------------------------------------------------------------
+# characterize
+
+
+def test_empty_stream_profile_is_all_zero():
+    profile = characterize([])
+    assert profile.records == 0
+    assert profile.read_fraction == 0.0
+    assert profile.footprint_bytes == 0
+    assert profile.implied_queue_depth == 0.0
+
+
+def test_mix_and_byte_counters():
+    profile = characterize([
+        rec(0, IoOpcode.READ, 0, 8),
+        rec(10, IoOpcode.WRITE, 8, 16),
+        rec(20, IoOpcode.TRIM, 0, 8),
+        rec(30, IoOpcode.FLUSH, 0, 0),
+    ])
+    assert (profile.reads, profile.writes,
+            profile.trims, profile.flushes) == (1, 1, 1, 1)
+    assert profile.bytes_read == 8 * 512
+    assert profile.bytes_written == 16 * 512
+    assert profile.read_fraction == 0.5  # of data requests
+
+
+def test_fully_sequential_stream():
+    records = [rec(i * 10, IoOpcode.WRITE, i * 8, 8) for i in range(10)]
+    profile = characterize(records)
+    assert profile.sequential_fraction == 1.0
+    assert profile.dominant_pattern == "sequential"
+    # 10 x 8 sectors back to back: one contiguous 40 KiB region.
+    assert profile.span_bytes == 80 * 512
+    assert profile.footprint_bytes == 80 * 512
+
+
+def test_random_stream_pattern():
+    lbas = [800, 0, 3200, 1600, 640, 2400]
+    records = [rec(i * 10, IoOpcode.READ, lba, 8)
+               for i, lba in enumerate(lbas)]
+    profile = characterize(records)
+    assert profile.sequential_fraction == 0.0
+    assert profile.dominant_pattern == "random"
+    assert profile.span_bytes == (3200 + 8 - 0) * 512
+
+
+def test_footprint_counts_unique_blocks_once():
+    # Same 4 KiB block touched three times: footprint stays one block.
+    records = [rec(i * 10, IoOpcode.WRITE, 0, 8) for i in range(3)]
+    assert characterize(records).footprint_bytes == 4096
+
+
+def test_queue_depth_littles_law():
+    # Two requests, each with 100 us response, issued at t=0 and t=100us;
+    # completions at 100 and 200 us.  Sum of response = 200 us over a
+    # 200 us window -> mean 1.0 in flight.
+    profile = characterize([
+        rec(0, IoOpcode.READ, 0, 8, response_us=100),
+        rec(100, IoOpcode.READ, 8, 8, response_us=100),
+    ])
+    assert profile.has_response_times
+    assert profile.implied_queue_depth == pytest.approx(1.0)
+
+
+def test_queue_depth_burst_estimate_without_responses():
+    # Bursts of 3 back-to-back arrivals (gap < 1 us) separated by 1 ms:
+    # mean burst length 3.
+    records = []
+    t = 0.0
+    for __ in range(4):
+        for i in range(3):
+            records.append(rec(t + i * 0.1, IoOpcode.READ, 0, 8))
+        t += 1000.0
+    profile = characterize(records)
+    assert not profile.has_response_times
+    assert profile.implied_queue_depth == pytest.approx(3.0)
+
+
+def test_duration_and_rate():
+    profile = characterize([
+        rec(0, IoOpcode.READ, 0, 8),
+        rec(1000, IoOpcode.READ, 8, 8),  # 1 ms apart
+    ])
+    assert profile.duration_s == pytest.approx(1e-3)
+    assert profile.mean_iops == pytest.approx(2000.0)
+
+
+def test_format_profile_renders_every_section():
+    profile = characterize([
+        rec(0, IoOpcode.READ, 0, 8, response_us=50),
+        rec(5, IoOpcode.WRITE, 8, 128, response_us=80),
+    ])
+    text = format_profile(profile, source="sample.csv")
+    assert "sample.csv" in text
+    assert "read fraction" in text
+    assert "request sizes:" in text
+    assert "inter-arrival gaps:" in text
+    assert "Little's law" in text
+
+
+# ----------------------------------------------------------------------
+# transforms
+
+
+def test_wrap_preserves_in_range_records_identically():
+    records = [rec(0, IoOpcode.READ, 100, 8)]
+    wrapped = list(wrap_to_capacity(iter(records), 1024))
+    assert wrapped[0] is records[0]  # no copy when nothing changes
+
+
+def test_wrap_modulo_and_boundary_shift():
+    wrapped = list(wrap_to_capacity(iter([
+        rec(0, IoOpcode.READ, 1024 + 100, 8),   # modulo
+        rec(1, IoOpcode.READ, 1020, 8),         # crosses the boundary
+        rec(2, IoOpcode.WRITE, 0, 4096),        # larger than the device
+    ]), 1024))
+    assert (wrapped[0].lba, wrapped[0].sectors) == (100, 8)
+    assert (wrapped[1].lba, wrapped[1].sectors) == (1016, 8)
+    assert (wrapped[2].lba, wrapped[2].sectors) == (0, 1024)
+    for record in wrapped:
+        assert record.end_lba <= 1024
+
+
+def test_wrap_keeps_collisions():
+    # Two requests to the same original LBA still collide after wrapping.
+    a, b = wrap_to_capacity(iter([
+        rec(0, IoOpcode.WRITE, 5000, 8),
+        rec(1, IoOpcode.READ, 5000, 8),
+    ]), 1024)
+    assert a.lba == b.lba
+
+
+def test_wrap_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        list(wrap_to_capacity(iter([]), 0))
+
+
+def test_scale_time_scales_issue_and_response():
+    scaled = list(scale_time(iter([
+        rec(100, IoOpcode.READ, 0, 8, response_us=50)]), 0.5))
+    assert scaled[0].issue_ps == 50 * 10**6
+    assert scaled[0].response_ps == 25 * 10**6
+
+
+def test_scale_time_rejects_nonpositive_factor():
+    with pytest.raises(ValueError):
+        list(scale_time(iter([]), 0.0))
+    with pytest.raises(ValueError):
+        list(scale_time(iter([]), -1.0))
+
+
+def test_rebase_time_shifts_first_to_zero():
+    rebased = list(rebase_time(iter([
+        rec(500, IoOpcode.READ, 0, 8),
+        rec(700, IoOpcode.READ, 8, 8),
+    ])))
+    assert [r.issue_ps for r in rebased] == [0, 200 * 10**6]
+
+
+def test_limit_records_truncates_lazily():
+    def counting():
+        for i in range(1000):
+            yield rec(i, IoOpcode.READ, 0, 8)
+
+    limited = list(limit_records(counting(), 3))
+    assert len(limited) == 3
+    assert list(limit_records(iter([]), None)) == []
+    with pytest.raises(ValueError):
+        list(limit_records(iter([]), 0))

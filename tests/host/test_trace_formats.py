@@ -1,0 +1,282 @@
+"""Property and fuzz tests for the three trace parsers.
+
+Three invariants, checked per format:
+
+* **Round trip** — emit -> parse -> emit is a fixed point: once a record
+  stream has passed through a parser, re-emitting and re-parsing changes
+  nothing.
+* **Detection** — auto-detection keys on line shape, so it identifies a
+  format from any record line, including shuffled samples.
+* **Robustness** — malformed, truncated or hostile input always raises
+  :class:`TraceError` carrying ``<source>:<line>``; no input crashes a
+  parser with any other exception.
+"""
+
+import random
+
+import pytest
+
+from repro.host.commands import IoOpcode
+from repro.host.traces import (TRACE_FORMATS, TraceError, TraceRecord,
+                               detect_format, emit_records,
+                               parse_trace_lines)
+
+# ----------------------------------------------------------------------
+# Record generators (format-aware: each format quantizes time to its own
+# resolution and supports a different opcode set, so round-trip fixtures
+# must be representable in the target format)
+
+_OPCODES = {
+    "native": (IoOpcode.READ, IoOpcode.WRITE, IoOpcode.TRIM,
+               IoOpcode.FLUSH),
+    "msr": (IoOpcode.READ, IoOpcode.WRITE),
+    "blkparse": (IoOpcode.READ, IoOpcode.WRITE, IoOpcode.TRIM,
+                 IoOpcode.FLUSH),
+}
+
+#: Time resolution in ps: native emits microseconds with 3 decimals
+#: (=1 ns), MSR uses 100 ns filetime ticks, blkparse nanoseconds.
+_TIME_QUANTUM_PS = {"native": 1_000, "msr": 100_000, "blkparse": 1_000}
+
+
+def make_records(fmt, count, seed):
+    """Deterministic record stream representable in ``fmt``.
+
+    The first record issues at t=0 so the rebasing parsers (msr,
+    blkparse) are identity on the times.
+    """
+    rng = random.Random(seed)
+    quantum = _TIME_QUANTUM_PS[fmt]
+    issue_ps = 0
+    records = []
+    for index in range(count):
+        opcode = rng.choice(_OPCODES[fmt])
+        sectors = 0 if opcode is IoOpcode.FLUSH else rng.choice(
+            (1, 8, 16, 64, 128, rng.randint(1, 512)))
+        response = rng.randrange(0, 10**9, quantum) if fmt == "msr" \
+            else None
+        records.append(TraceRecord(
+            issue_ps=issue_ps, opcode=opcode,
+            lba=rng.randrange(0, 1 << 30), sectors=sectors,
+            response_ps=response))
+        issue_ps += rng.randrange(0, 10**8, quantum) if index else quantum
+    return records
+
+
+def parse(lines, fmt):
+    return list(parse_trace_lines(lines, fmt, source="mem"))
+
+
+# ----------------------------------------------------------------------
+# Round trip
+
+
+@pytest.mark.parametrize("fmt", TRACE_FORMATS)
+@pytest.mark.parametrize("seed", range(5))
+def test_emit_parse_emit_is_fixed_point(fmt, seed):
+    records = make_records(fmt, count=40, seed=seed)
+    lines = list(emit_records(records, fmt))
+    reparsed = parse(lines, fmt)
+    assert list(emit_records(reparsed, fmt)) == lines
+    # And the parsed records themselves are stable on a second pass.
+    assert parse(list(emit_records(reparsed, fmt)), fmt) == reparsed
+
+
+@pytest.mark.parametrize("fmt", TRACE_FORMATS)
+def test_round_trip_preserves_extents_and_opcodes(fmt):
+    records = make_records(fmt, count=60, seed=99)
+    reparsed = parse(list(emit_records(records, fmt)), fmt)
+    assert [(r.opcode, r.lba, r.sectors) for r in reparsed] \
+        == [(r.opcode, r.lba, r.sectors) for r in records]
+    assert [r.issue_ps for r in reparsed] == [r.issue_ps for r in records]
+
+
+def test_msr_round_trip_preserves_response_times():
+    records = make_records("msr", count=30, seed=7)
+    reparsed = parse(list(emit_records(records, "msr")), "msr")
+    assert [r.response_ps for r in reparsed] \
+        == [r.response_ps for r in records]
+
+
+def test_msr_cannot_emit_trim_or_flush():
+    trim = TraceRecord(issue_ps=0, opcode=IoOpcode.TRIM, lba=0, sectors=8)
+    with pytest.raises(TraceError, match="TRIM"):
+        list(emit_records([trim], "msr"))
+
+
+# ----------------------------------------------------------------------
+# Auto-detection
+
+
+@pytest.mark.parametrize("fmt", TRACE_FORMATS)
+def test_detection_on_emitted_sample(fmt):
+    lines = list(emit_records(make_records(fmt, 20, seed=3), fmt))
+    assert detect_format(lines) == fmt
+
+
+@pytest.mark.parametrize("fmt", TRACE_FORMATS)
+@pytest.mark.parametrize("seed", range(3))
+def test_detection_survives_shuffling(fmt, seed):
+    """Detection keys on line shape, not position — any record line
+    identifies the format, so a shuffled sample still detects."""
+    lines = list(emit_records(make_records(fmt, 20, seed=5), fmt))
+    random.Random(seed).shuffle(lines)
+    assert detect_format(lines) == fmt
+
+
+def test_detection_with_msr_header():
+    header = ("Timestamp,Hostname,DiskNumber,Type,Offset,Size,"
+              "ResponseTime")
+    assert detect_format([header]) == "msr"
+    assert detect_format(["", "  ", header]) == "msr"
+
+
+def test_detection_skips_comments_and_blanks():
+    lines = ["# a comment", "", "   ", "10.0 R 0 8"]
+    assert detect_format(lines) == "native"
+
+
+def test_detection_rejects_garbage_and_empty():
+    with pytest.raises(TraceError, match="unrecognized"):
+        detect_format(["certainly not a trace line"], source="junk.txt")
+    with pytest.raises(TraceError, match="empty"):
+        detect_format([], source="empty.txt")
+    with pytest.raises(TraceError, match="empty"):
+        detect_format(["# only comments", ""], source="empty.txt")
+
+
+def test_unknown_format_names_rejected():
+    with pytest.raises(TraceError, match="unknown trace format"):
+        parse(["0 R 0 8"], "csv")
+    with pytest.raises(TraceError, match="unknown trace format"):
+        list(emit_records([], "csv"))
+
+
+# ----------------------------------------------------------------------
+# Malformed input: always TraceError, always with source:line
+
+_BAD_LINES = {
+    "native": [
+        "10.0 R 0",                      # missing field
+        "10.0 R 0 8 9",                  # extra field
+        "10.0 X 0 8",                    # unknown opcode
+        "-1.0 R 0 8",                    # negative time
+        "ten R 0 8",                     # non-numeric time
+        "10.0 R zero 8",                 # non-numeric lba
+        "10.0 R -4 8",                   # negative lba
+        "10.0 R 0 0",                    # zero sectors on a read
+    ],
+    "msr": [
+        "100,host,0,Read,0",                    # too few fields
+        "100,host,0,Fsync,0,4096,0",            # unknown type
+        "ticks,host,0,Read,0,4096,0",           # non-numeric timestamp
+        "100,host,0,Read,-512,4096,0",          # negative offset
+        "100,host,0,Read,0,0,0",                # zero size
+        "100,host,0,Read,0,4096,-5",            # negative response
+        "100,host,0,Read,0,banana,0",           # non-numeric size
+    ],
+    "blkparse": [
+        "8,0 0 1 0.1",                              # truncated record
+        "8,0    0    1    0.000000001 100  Q W 0",  # no '+ count'
+        "8,0    0    1    0.000000001 100  Q W 0 x 8",   # bad separator
+        "8,0    0    1    bad.time 100  Q W 0 + 8",      # bad timestamp
+        "8,0    0    1    0.junk 100  Q W 0 + 8",        # bad fraction
+        "8,0    0    1    0.000000001 100  Q W zero + 8",  # bad sector
+        "8,0    0    1    0.000000001 100  Q W 0 + 0",   # zero sectors
+    ],
+}
+
+
+@pytest.mark.parametrize("fmt,line",
+                         [(fmt, line) for fmt in _BAD_LINES
+                          for line in _BAD_LINES[fmt]])
+def test_malformed_line_raises_trace_error_with_location(fmt, line):
+    good = list(emit_records(make_records(fmt, 2, seed=1), fmt))
+    lines = good + [line]
+    with pytest.raises(TraceError) as excinfo:
+        parse(lines, fmt)
+    assert f"mem:{len(lines)}:" in str(excinfo.value)
+
+
+def test_blkparse_file_without_records_is_an_error():
+    with pytest.raises(TraceError, match="no blkparse records"):
+        parse(["CPU0 (sda):", " Reads Queued: 0, 0KiB"], "blkparse")
+
+
+def test_blkparse_skips_other_lifecycle_stages():
+    lines = [
+        "8,0    0    1    0.000000000  42  Q R 128 + 8 [app]",
+        "8,0    0    2    0.000001000  42  G R 128 + 8 [app]",
+        "8,0    0    3    0.000002000  42  D R 128 + 8 [app]",
+        "8,0    0    4    0.000005000  42  C R 128 + 8 [0]",
+    ]
+    records = parse(lines, "blkparse")
+    assert len(records) == 1
+    assert records[0].lba == 128 and records[0].sectors == 8
+
+
+def test_blkparse_discard_and_flush_rwbs():
+    lines = [
+        "8,0    0    1    0.000000000  42  Q DS 512 + 64 [fstrim]",
+        "8,0    0    2    0.000001000  42  Q FN 0 + 0 [jbd2]",
+        "8,0    0    3    0.000002000  42  Q N 0 + 0 [app]",
+    ]
+    records = parse(lines, "blkparse")
+    assert [r.opcode for r in records] \
+        == [IoOpcode.TRIM, IoOpcode.FLUSH]
+
+
+def test_msr_header_and_blank_lines_skipped():
+    lines = [
+        "",
+        "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime",
+        "128166372003061629,src1,0,Write,1048576,4096,1200",
+        "128166372003061629,src1,0,Read,2097152,8192,900",
+    ]
+    records = parse(lines, "msr")
+    assert len(records) == 2
+    assert records[0].issue_ps == 0              # rebased to t=0
+    assert records[0].lba == 1048576 // 512
+    assert records[0].sectors == 8
+    assert records[1].response_ps == 900 * 100_000
+
+
+def test_native_comments_and_time_units():
+    records = parse(["# header", "10.5 R 100 8  # trailing"], "native")
+    assert records == [TraceRecord(issue_ps=10_500_000,
+                                   opcode=IoOpcode.READ,
+                                   lba=100, sectors=8)]
+
+
+# ----------------------------------------------------------------------
+# Seeded fuzz: random mutations of valid lines never escape TraceError
+
+
+def _mutate(rng, line):
+    choice = rng.randrange(4)
+    if choice == 0 and line:                       # truncate
+        return line[:rng.randrange(len(line))]
+    if choice == 1 and line:                       # corrupt one char
+        i = rng.randrange(len(line))
+        return line[:i] + chr(rng.randrange(33, 127)) + line[i + 1:]
+    if choice == 2:                                # duplicate a token
+        tokens = line.split()
+        if tokens:
+            tokens.insert(rng.randrange(len(tokens)),
+                          rng.choice(tokens))
+        return " ".join(tokens)
+    return "".join(chr(rng.randrange(32, 127))     # pure noise
+                   for _ in range(rng.randrange(1, 60)))
+
+
+@pytest.mark.parametrize("fmt", TRACE_FORMATS)
+def test_fuzzed_input_never_crashes(fmt):
+    rng = random.Random(0xF022)
+    base = list(emit_records(make_records(fmt, 10, seed=11), fmt))
+    for trial in range(300):
+        lines = [(_mutate(rng, line) if rng.random() < 0.5 else line)
+                 for line in base]
+        try:
+            parse(lines, fmt)
+        except TraceError:
+            pass  # the only acceptable failure mode

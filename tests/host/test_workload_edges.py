@@ -1,0 +1,97 @@
+"""Edge cases of the synthetic workload builders.
+
+Boundary parameters (zero rates, degenerate fractions, empty lists)
+must either produce a well-formed workload or fail loudly at build time
+— never yield a stream that misbehaves mid-simulation.
+"""
+
+import pytest
+
+from repro.host.commands import IoOpcode
+from repro.host.workload import (CommandListWorkload, mixed_workload,
+                                 timed_workload)
+
+
+# ----------------------------------------------------------------------
+# timed_workload
+
+
+@pytest.mark.parametrize("rate,duration", [
+    (0.0, 1.0), (-100.0, 1.0), (100.0, 0.0), (100.0, -1.0), (0.0, 0.0)])
+def test_timed_workload_rejects_nonpositive_rate_or_duration(rate,
+                                                             duration):
+    with pytest.raises(ValueError, match="positive"):
+        timed_workload(rate_iops=rate, duration_s=duration)
+
+
+def test_timed_workload_fractional_command_count_floors_to_one():
+    # 10 IOPS for 50 ms is half a command — must still emit one.
+    workload = timed_workload(rate_iops=10.0, duration_s=0.05)
+    assert workload.n_commands == 1
+    assert workload.to_list()[0].issue_time_ps == 0
+
+
+def test_timed_workload_issue_times_are_evenly_spaced():
+    workload = timed_workload(rate_iops=1000.0, duration_s=0.005)
+    times = [c.issue_time_ps for c in workload.to_list()]
+    assert times == [i * 10**9 for i in range(5)]  # 1 ms apart
+
+
+# ----------------------------------------------------------------------
+# mixed_workload
+
+
+def test_mixed_workload_read_fraction_zero_is_all_writes():
+    workload = mixed_workload(total_bytes=64 * 4096, read_fraction=0.0)
+    opcodes = {c.opcode for c in workload.to_list()}
+    assert opcodes == {IoOpcode.WRITE}
+
+
+def test_mixed_workload_read_fraction_one_is_all_reads():
+    workload = mixed_workload(total_bytes=64 * 4096, read_fraction=1.0)
+    opcodes = {c.opcode for c in workload.to_list()}
+    assert opcodes == {IoOpcode.READ}
+
+
+@pytest.mark.parametrize("fraction", [-0.01, 1.01, 2.0, -1.0])
+def test_mixed_workload_rejects_out_of_range_fraction(fraction):
+    with pytest.raises(ValueError, match="read_fraction"):
+        mixed_workload(total_bytes=4096, read_fraction=fraction)
+
+
+def test_mixed_workload_rejects_sub_block_total():
+    with pytest.raises(ValueError, match="at least one block"):
+        mixed_workload(total_bytes=4095)
+
+
+def test_mixed_workload_is_deterministic_per_seed():
+    a = [(c.opcode, c.lba) for c in
+         mixed_workload(64 * 4096, seed=42).to_list()]
+    b = [(c.opcode, c.lba) for c in
+         mixed_workload(64 * 4096, seed=42).to_list()]
+    c = [(c.opcode, c.lba) for c in
+         mixed_workload(64 * 4096, seed=43).to_list()]
+    assert a == b
+    assert a != c
+
+
+# ----------------------------------------------------------------------
+# CommandListWorkload
+
+
+def test_command_list_workload_rejects_empty_list():
+    with pytest.raises(ValueError, match="empty"):
+        CommandListWorkload([])
+
+
+def test_command_list_workload_rejects_unknown_pattern():
+    commands = mixed_workload(4 * 4096).to_list()
+    with pytest.raises(ValueError, match="pattern"):
+        CommandListWorkload(commands, pattern="zipfian")
+
+
+def test_command_list_workload_copies_its_input():
+    commands = mixed_workload(4 * 4096).to_list()
+    workload = CommandListWorkload(commands, pattern="random")
+    commands.clear()  # mutating the caller's list must not affect it
+    assert workload.n_commands == 4

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-figure JSON files under tests/golden/.
+
+Run via ``make golden-refresh`` after an *intentional* behavior change
+(new timing model, metric definition, workload semantics), then review
+the diff like any other code change — the goldens are the contract.
+
+Usage:  PYTHONPATH=src python tools/refresh_goldens.py [repo_root]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.core.goldens import refresh_goldens  # noqa: E402
+
+
+def main() -> int:
+    repo_root = sys.argv[1] if len(sys.argv) > 1 else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for name, path in refresh_goldens(repo_root).items():
+        print(f"refreshed {name:<14} -> {os.path.relpath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
