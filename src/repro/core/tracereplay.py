@@ -206,8 +206,19 @@ def trace_sweep(workload: TraceWorkload,
     The sweep cache key folds in the trace's content hash, so re-running
     with an unchanged trace is all cache hits and editing the trace
     re-simulates every point.
+
+    Raises :class:`TraceError` if any point fails, naming each failed
+    point and its error — a missing key in the returned table always
+    means "not requested", never "silently dropped".  Callers that want
+    to inspect partial results alongside failures should drive
+    :meth:`SweepRunner.run` on :func:`trace_sweep_points` directly.
     """
     runner = runner or SweepRunner(workers=1)
     result = runner.run(trace_sweep_points(workload, configs, base))
-    return {outcome.name: outcome.payload for outcome in result.outcomes
-            if not outcome.failed}
+    failures = result.failures()
+    if failures:
+        detail = "; ".join(f"{o.name}: {o.failure.error_type}: "
+                           f"{o.failure.message}" for o in failures)
+        raise TraceError(f"trace sweep failed for {len(failures)} "
+                         f"point(s): {detail}")
+    return result.payloads()

@@ -21,7 +21,8 @@ Formats
 
     ``Timestamp`` and ``ResponseTime`` are Windows filetime ticks
     (100 ns); ``Offset``/``Size`` are bytes.  Timestamps are rebased so
-    the first record issues at t=0.
+    the first record issues at t=0; a timestamp earlier than the first
+    record's is an error (clamping would silently reorder it).
 
 ``blkparse``
     ``blkparse`` standard text output.  Only queue records (action
@@ -34,6 +35,7 @@ Formats
 
 from __future__ import annotations
 
+import os
 import re
 from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
 
@@ -149,7 +151,14 @@ def _parse_msr(lines: Iterable[str], source: str) -> Iterator[TraceRecord]:
             raise _error(source, line_number, "negative response time")
         if first_ticks is None:
             first_ticks = ticks
-        issue_ps = max(0, ticks - first_ticks) * _FILETIME_TICK_PS
+        elif ticks < first_ticks:
+            # Silently clamping would reorder the record to the trace
+            # start and distort inter-arrival/queue-depth statistics.
+            raise _error(source, line_number,
+                         f"timestamp {ticks} precedes the first "
+                         f"record's {first_ticks}; sort the trace "
+                         f"before ingesting it")
+        issue_ps = (ticks - first_ticks) * _FILETIME_TICK_PS
         yield TraceRecord(
             issue_ps=issue_ps, opcode=opcode, lba=offset // 512,
             sectors=max(1, (size + 511) // 512),
@@ -200,11 +209,20 @@ def _parse_blkparse(lines: Iterable[str], source: str
         action = tokens[5]
         if action != "Q":
             continue  # other lifecycle stages of the same request
+        if len(tokens) < 7:
+            raise _error(source, line_number,
+                         f"queue record missing RWBS flags: {raw!r}")
+        opcode = _rwbs_opcode(tokens[6])
+        if opcode is None:
+            # No-payload records (RWBS 'N': barriers, flush markers)
+            # carry no 'sector + count' section at all, so skip them
+            # before enforcing the payload shape.
+            continue
         if len(tokens) < 10 or tokens[8] != "+":
             raise _error(source, line_number,
                          f"expected 'sector + count' payload in "
                          f"queue record: {raw!r}")
-        time_text, rwbs = tokens[3], tokens[6]
+        time_text = tokens[3]
         try:
             if "." in time_text:
                 seconds_text, frac_text = time_text.split(".", 1)
@@ -218,9 +236,6 @@ def _parse_blkparse(lines: Iterable[str], source: str
             count = int(tokens[9])
         except ValueError as exc:
             raise _error(source, line_number, str(exc)) from None
-        opcode = _rwbs_opcode(rwbs)
-        if opcode is None:
-            continue  # no-payload record (e.g. RWBS 'N')
         if first_ps is None:
             first_ps = issue_ps
         try:
@@ -338,10 +353,25 @@ def emit_records(records: Iterable[TraceRecord], fmt: str) -> Iterator[str]:
 
 def write_trace_file(path: str, records: Iterable[TraceRecord],
                      fmt: str) -> int:
-    """Write records to ``path`` in ``fmt``; returns the line count."""
+    """Write records to ``path`` in ``fmt``; returns the line count.
+
+    The write is atomic: lines stream to a sibling temp file that is
+    renamed over ``path`` only on success, so a mid-stream failure
+    (e.g. a TRIM record bound for the MSR format) never leaves a
+    truncated destination behind.
+    """
     lines = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for line in emit_records(records, fmt):
-            handle.write(line + "\n")
-            lines += 1
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for line in emit_records(records, fmt):
+                handle.write(line + "\n")
+                lines += 1
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp_path, path)
     return lines

@@ -128,7 +128,11 @@ def run_workload(sim: Simulator, device: SsdDevice, workload: Workload,
     ``honor_issue_times`` switches from closed-loop (issue as fast as the
     queue admits — the Fig. 3/4 regime) to open-loop trace replay: each
     command is held until its ``issue_time_ps`` (as parsed by the trace
-    player) before entering the queue.
+    player) before entering the queue.  Issue times are trace-relative
+    (rebased to t=0 by the parsers), so they are anchored to the
+    measurement-window start — a warm-up phase that already advanced
+    ``sim.now`` (e.g. steady-state preconditioning) shifts the whole
+    replay schedule instead of collapsing it into closed loop.
     """
     commands = list(workload.commands())
     if max_commands is not None:
@@ -149,8 +153,12 @@ def run_workload(sim: Simulator, device: SsdDevice, workload: Workload,
     bytes_before = device.bytes_completed
 
     def issue_one(command: IoCommand):
-        if honor_issue_times and command.issue_time_ps > sim.now:
-            yield sim.timeout(command.issue_time_ps - sim.now)
+        if honor_issue_times:
+            # issue_time_ps is trace-relative; anchor it to the window
+            # start, not the simulation epoch.
+            issue_at = t_start + command.issue_time_ps
+            if issue_at > sim.now:
+                yield sim.timeout(issue_at - sim.now)
         if device.mode is DataPathMode.DDR_FLASH:
             yield from _execute_and_record(command)
         else:

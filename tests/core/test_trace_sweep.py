@@ -131,6 +131,18 @@ def test_worker_refuses_stale_content(tmp_path):
         evaluate_replay_point(point)
 
 
+def test_trace_sweep_raises_on_failed_points(tmp_path):
+    """trace_sweep must never silently drop a failed point from its
+    table — a missing key means "not requested", never "failed"."""
+    copy = tmp_path / "trace.csv"
+    shutil.copy(SAMPLE, copy)
+    workload = sample_workload(path=str(copy))
+    with open(copy, "a") as handle:  # invalidate the recorded hash
+        handle.write("128166372903061629,src1,0,Read,4096,4096,100\n")
+    with pytest.raises(TraceError, match=r"failed for 1 point\(s\): C1"):
+        trace_sweep(workload, configs=["C1"], runner=SweepRunner(workers=1))
+
+
 def test_stale_content_surfaces_as_point_failure(tmp_path):
     copy = tmp_path / "trace.csv"
     shutil.copy(SAMPLE, copy)

@@ -226,6 +226,37 @@ def test_blkparse_discard_and_flush_rwbs():
         == [IoOpcode.TRIM, IoOpcode.FLUSH]
 
 
+def test_blkparse_skips_no_payload_queue_records():
+    """Barrier/flush queue records (RWBS 'N') carry no 'sector + count'
+    payload at all — real blktrace output interleaves them with data
+    records, and they must be skipped, not rejected."""
+    lines = [
+        "8,0 1 1 0.000000000 0 Q N [swapper]",
+        "8,0    0    2    0.000001000  42  Q R 128 + 8 [app]",
+    ]
+    records = parse(lines, "blkparse")
+    assert len(records) == 1
+    assert records[0].opcode is IoOpcode.READ
+    assert records[0].lba == 128 and records[0].sectors == 8
+
+
+def test_blkparse_queue_record_without_rwbs_is_an_error():
+    with pytest.raises(TraceError, match="mem:1:.*RWBS"):
+        parse(["8,0 1 1 0.000000000 0 Q"], "blkparse")
+
+
+def test_msr_non_monotonic_timestamp_is_an_error():
+    """A timestamp earlier than the first record's must raise, not be
+    silently clamped to t=0 (which would reorder it to the trace start
+    and distort inter-arrival statistics)."""
+    lines = [
+        "128166372003061629,src1,0,Write,1048576,4096,1200",
+        "128166372003061000,src1,0,Read,2097152,8192,900",
+    ]
+    with pytest.raises(TraceError, match="mem:2:.*precedes"):
+        parse(lines, "msr")
+
+
 def test_msr_header_and_blank_lines_skipped():
     lines = [
         "",

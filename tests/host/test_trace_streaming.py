@@ -57,6 +57,23 @@ def test_parser_memory_independent_of_trace_length(fmt, tmp_path):
         f"for a 10x longer trace — parser is buffering the file")
 
 
+def test_write_trace_file_is_atomic_on_emit_failure(tmp_path):
+    """A mid-stream emit failure (TRIM bound for MSR) must not leave a
+    truncated destination file behind — an existing file keeps its old
+    content and no temp file survives."""
+    from repro.host.traces import TraceError
+    dst = tmp_path / "out.csv"
+    dst.write_text("previous content\n")
+    records = [
+        TraceRecord(issue_ps=0, opcode=IoOpcode.READ, lba=0, sectors=8),
+        TraceRecord(issue_ps=1000, opcode=IoOpcode.TRIM, lba=8, sectors=8),
+    ]
+    with pytest.raises(TraceError, match="TRIM"):
+        write_trace_file(str(dst), iter(records), "msr")
+    assert dst.read_text() == "previous content\n"
+    assert list(tmp_path.iterdir()) == [dst]  # no stray temp file
+
+
 def test_emitters_are_streaming_too():
     """emit_records over a generator yields lazily (no materialization)."""
     def infinite():

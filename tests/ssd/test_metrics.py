@@ -92,6 +92,29 @@ class TestOpenLoopReplay:
                      honor_issue_times=False)
         assert device.last_completion_ps < 2_000_000_000
 
+    def test_issue_times_rebased_to_measurement_window(self):
+        """Open-loop pacing after a warm-up phase: trace-relative issue
+        times must anchor to the measurement-window start, not the
+        simulation epoch, or the paced replay silently degrades to
+        closed loop once preconditioning has advanced ``sim.now``."""
+        from repro.host.traces.precondition import run_preconditioning
+        trace = parse_trace("0 W 0 8\n2000 W 8 8\n")  # 2 ms apart
+        sim = Simulator()
+        device = SsdDevice(sim, tiny_arch())
+        assert run_preconditioning(sim, device, span_sectors=64,
+                                   mode="steady") > 0
+        window_start = sim.now
+        assert window_start > 0
+        result = run_workload(sim, device, CommandListWorkload(trace),
+                              honor_issue_times=True)
+        assert result.commands == 2
+        # The device stamps the actual issue instant on execution; the
+        # inter-issue gap from the trace must be honored relative to the
+        # window start (first at >= t0, second at >= t0 + 2 ms).
+        assert trace[0].issue_time_ps >= window_start
+        assert trace[1].issue_time_ps >= window_start + 2_000_000_000
+        assert device.last_completion_ps >= window_start + 2_000_000_000
+
 
 class TestCommandListWorkload:
     def test_exposes_workload_interface(self):
