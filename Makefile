@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench sweep faults profile trace golden golden-refresh
+.PHONY: test test-fast bench sweep faults profile trace fidelity golden \
+	golden-refresh
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -47,6 +48,12 @@ trace:
 	$(PYTHON) -m repro trace characterize /tmp/repro-sample.trace --json \
 		> /dev/null
 	@echo "trace smoke OK (characterize + replay + convert)"
+
+# Fidelity-dial benchmark: calibrate the fast paths, replay the sample
+# trace at both fidelity levels, enforce the >=10x speedup floor and the
+# <=5% fig3/fig5 error bound; refreshes BENCH_fidelity.json.
+fidelity:
+	$(PYTHON) benchmarks/bench_fidelity.py
 
 # Golden-figure regression tier only (also part of `make test`).
 golden:

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Fidelity-dial benchmark: cycle-accurate vs calibrated fast replay.
+
+Calibrates the fast paths, replays the bundled sample trace at both
+fidelity levels, and checks the two contract numbers of the dial —
+
+* **speedup**: fast replay must be at least ``MIN_SPEEDUP`` (10x) faster
+  in wall clock than the cycle-accurate replay;
+* **accuracy**: fast fig3/fig5 must stay within ``MAX_ERROR`` (5%)
+  relative error of the checked-in golden figures, and the fast replay's
+  throughput/latency must stay within the same bound of cycle-accurate.
+
+Writes the measurements to ``BENCH_fidelity.json`` at the repo root so
+the speed/accuracy trajectory accumulates across PRs; exits nonzero if
+either contract regresses.
+
+Usage::
+
+    make fidelity                                 # or:
+    PYTHONPATH=src python benchmarks/bench_fidelity.py
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import calibrate, fidelity_error_report  # noqa: E402
+from repro.core.tracereplay import (TraceWorkload,  # noqa: E402
+                                    replay_trace)
+from repro.ssd import SsdArchitecture  # noqa: E402
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
+OUT_PATH = os.path.join(REPO_ROOT, "BENCH_fidelity.json")
+TRACE = os.path.join(REPO_ROOT, "examples", "sample_msr.csv")
+
+MIN_SPEEDUP = 10.0
+MAX_ERROR = 0.05
+
+
+def timed_replay(arch):
+    workload = TraceWorkload.from_file(TRACE)
+    started = time.perf_counter()
+    outcome = replay_trace(workload, arch=arch)
+    wall = time.perf_counter() - started
+    result = outcome.result
+    return {
+        "wall_seconds": round(wall, 3),
+        "events": result.events,
+        "sustained_mbps": result.sustained_mbps,
+        "throughput_mbps": result.throughput_mbps,
+        "mean_latency_us": result.mean_latency_us,
+    }
+
+
+def rel_error(measured, reference):
+    return abs(measured - reference) / abs(reference) if reference else 0.0
+
+
+def main() -> int:
+    arch = SsdArchitecture()
+    started = time.perf_counter()
+    calibration = calibrate(arch, cache_dir=None)
+    calibrate_wall = time.perf_counter() - started
+
+    cycle = timed_replay(arch)
+    print(f"cycle : {cycle['wall_seconds']:7.2f}s  "
+          f"{cycle['events']:>9,} events  "
+          f"{cycle['sustained_mbps']:6.2f} MB/s sustained")
+
+    fast = timed_replay(
+        arch.with_fidelity(calibration.to_fidelity()))
+    print(f"fast  : {fast['wall_seconds']:7.2f}s  "
+          f"{fast['events']:>9,} events  "
+          f"{fast['sustained_mbps']:6.2f} MB/s sustained")
+
+    speedup = (cycle["wall_seconds"] / fast["wall_seconds"]
+               if fast["wall_seconds"] else float("inf"))
+    replay_errors = {
+        "sustained_mbps": rel_error(fast["sustained_mbps"],
+                                    cycle["sustained_mbps"]),
+        "throughput_mbps": rel_error(fast["throughput_mbps"],
+                                     cycle["throughput_mbps"]),
+        "mean_latency_us": rel_error(fast["mean_latency_us"],
+                                     cycle["mean_latency_us"]),
+    }
+    print(f"speedup: {speedup:.2f}x  "
+          f"(thr err {replay_errors['sustained_mbps']:.2%}, "
+          f"lat err {replay_errors['mean_latency_us']:.2%})")
+
+    report = fidelity_error_report(calibration.to_fidelity(),
+                                   bound=MAX_ERROR, repo_root=REPO_ROOT)
+    print(f"figures: max error {report['max_rel_error']:.2%} "
+          f"({report['max_metric']}) vs goldens, bound {MAX_ERROR:.0%}")
+
+    document = {
+        "trace": os.path.basename(TRACE),
+        "calibration": dict(calibration.to_dict(),
+                            wall_seconds=round(calibrate_wall, 3)),
+        "cycle": cycle,
+        "fast": fast,
+        "speedup": round(speedup, 2),
+        "replay_rel_errors": {key: round(value, 4)
+                              for key, value in replay_errors.items()},
+        "golden_max_rel_error": round(report["max_rel_error"], 4),
+        "golden_max_metric": report["max_metric"],
+        "bounds": {"min_speedup": MIN_SPEEDUP, "max_error": MAX_ERROR},
+        "platform": {
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+
+    failures = []
+    if speedup < MIN_SPEEDUP:
+        failures.append(f"speedup {speedup:.2f}x below the "
+                        f"{MIN_SPEEDUP:.0f}x floor")
+    if not report["within_bound"]:
+        failures.append(f"golden error {report['max_rel_error']:.2%} "
+                        f"over the {MAX_ERROR:.0%} bound")
+    over = {key: value for key, value in replay_errors.items()
+            if value > MAX_ERROR}
+    if over:
+        failures.append(f"replay errors over bound: {over}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,7 @@ from .core import (DesignSpaceExplorer, ResourceCostModel, SweepPoint,
                    verify_ssdexplorer_column, write_report)
 from .host.workload import IOZONE_SUITE
 from .kernel import load_file
-from .ssd import SsdArchitecture, from_config
+from .ssd import SsdArchitecture, fidelity_from_spec, from_config
 
 
 def _parse_configs(text: Optional[str]) -> List[str]:
@@ -71,6 +71,33 @@ def add_sweep_options(parser: argparse.ArgumentParser) -> None:
                         help="per-point time budget in seconds "
                              "(0 = unlimited); a point over budget is "
                              "recorded as failed, not crashed")
+
+
+def add_fidelity_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fidelity", type=str, default="",
+        help='abstraction level: "cycle" (default), "fast", or a '
+             'per-subsystem spec like "fast,dram=cycle"; fast paths '
+             'use calibrated parameters (see "repro calibrate")')
+
+
+def fidelity_from_cli(args: argparse.Namespace, arch=None):
+    """Resolve ``--fidelity`` into a calibrated config (None = cycle).
+
+    Any fast level pulls in the calibrated fast-path parameters
+    (fitting them on first use; cached afterwards).
+    """
+    spec = getattr(args, "fidelity", "")
+    if not spec:
+        return None
+    config = fidelity_from_spec(spec)
+    if config.any_fast:
+        from dataclasses import replace
+
+        from .core import calibrate
+        config = replace(config,
+                         **calibrate(arch or SsdArchitecture()).to_dict())
+    return config
 
 
 def runner_from_args(args: argparse.Namespace,
@@ -128,7 +155,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
 def cmd_fig3(args: argparse.Namespace) -> int:
     runner = runner_from_args(args)
     rows = fig3_sweep(n_commands=args.commands,
-                      configs=_parse_configs(args.configs), runner=runner)
+                      configs=_parse_configs(args.configs), runner=runner,
+                      fidelity=fidelity_from_cli(args))
     print(render_breakdown_table(rows))
     return _print_summary(runner)
 
@@ -136,7 +164,8 @@ def cmd_fig3(args: argparse.Namespace) -> int:
 def cmd_fig4(args: argparse.Namespace) -> int:
     runner = runner_from_args(args)
     rows = fig4_sweep(n_commands=args.commands,
-                      configs=_parse_configs(args.configs), runner=runner)
+                      configs=_parse_configs(args.configs), runner=runner,
+                      fidelity=fidelity_from_cli(args))
     print(render_breakdown_table(rows))
     return _print_summary(runner)
 
@@ -145,7 +174,8 @@ def cmd_fig5(args: argparse.Namespace) -> int:
     runner = runner_from_args(args)
     fractions = [i / args.steps for i in range(args.steps + 1)]
     series = fig5_wearout_sweep(fractions=fractions,
-                                n_commands=args.commands, runner=runner)
+                                n_commands=args.commands, runner=runner,
+                                fidelity=fidelity_from_cli(args))
     print(render_series_table(series))
     return _print_summary(runner)
 
@@ -204,6 +234,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         arch = from_config(load_file(args.config))
     else:
         arch = SsdArchitecture()
+    fidelity = fidelity_from_cli(args, arch)
+    if fidelity is not None:
+        arch = arch.with_fidelity(fidelity)
     factory = IOZONE_SUITE.get(args.workload.upper())
     if factory is None:
         raise SystemExit(f"unknown workload {args.workload!r}; "
@@ -330,6 +363,9 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
         precondition=args.precondition,
         max_commands=args.commands or None)
     arch = _trace_arch(args)
+    fidelity = fidelity_from_cli(args, arch)
+    if fidelity is not None:
+        arch = arch.with_fidelity(fidelity)
     recorder = None
     if args.trace_out:
         from .obs import enable_observability
@@ -346,6 +382,7 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
             "trace": args.trace,
             "sha256": workload.sha256,
             "architecture": arch.label,
+            "fidelity": args.fidelity or "cycle",
             "profile": profile.to_dict(),
             "preconditioning_commands": outcome.preconditioning_commands,
             "result": result.to_dict(),
@@ -354,6 +391,10 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
         print(format_profile(profile, source=args.trace))
         print()
         print(f"architecture : {arch.label}")
+        if args.fidelity:
+            print(f"fidelity     : {args.fidelity} (calibrated fast "
+                  f"paths)" if arch.fidelity.any_fast
+                  else f"fidelity     : {args.fidelity}")
         print(f"replay mode  : "
               f"{'closed-loop' if args.closed_loop else 'open-loop'}"
               + (f", time x{args.time_scale:g}"
@@ -388,6 +429,47 @@ def cmd_trace_convert(args: argparse.Namespace) -> int:
                             args.commands or None)
     lines = write_trace_file(args.dst, records, args.to)
     print(f"wrote {lines} {args.to} lines to {args.dst}")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Fit (or show) the fast-fidelity parameters; optionally check the
+    fast fig3/fig5 error against the golden files."""
+    from .core import calibrate, fidelity_error_report
+    from .core.calibrate import DEFAULT_CACHE_DIR
+    if args.config:
+        arch = from_config(load_file(args.config))
+    else:
+        arch = SsdArchitecture()
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    result = calibrate(arch, cache_dir=cache_dir,
+                       use_cache=not args.no_cache)
+    report = None
+    if args.check:
+        report = fidelity_error_report(result.to_fidelity(),
+                                       bound=args.bound)
+    if args.json:
+        document = {"calibration": result.to_dict(),
+                    "cached": result.cached}
+        if report is not None:
+            document["report"] = report
+        print(render_json(document))
+    else:
+        print(f"dram_overhead_ps : {result.dram_overhead_ps}")
+        print(f"dram_ps_per_byte : {result.dram_ps_per_byte:.3f}")
+        print(f"cpu_cycles       : {result.cpu_cycles}")
+        print(f"nand_overhead_ps : {result.nand_overhead_ps}")
+        print("(served from the calibration cache)" if result.cached
+              else "(fitted from fresh cycle-accurate probes)")
+        if report is not None:
+            print(f"fast vs golden   : max error "
+                  f"{report['max_rel_error']:.2%} "
+                  f"({report['max_metric']}), "
+                  f"bound {report['bound']:.0%}")
+    if report is not None and not report["within_bound"]:
+        print("ERROR: fast fidelity exceeds the declared error bound",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -454,12 +536,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--configs", type=str, default="",
                        help="comma-separated subset of C1..C10")
         add_sweep_options(p)
+        add_fidelity_option(p)
         p.set_defaults(func=func)
 
     fig5 = sub.add_parser("fig5", help="Fig. 5 wear-out sweep")
     fig5.add_argument("--commands", type=int, default=400)
     fig5.add_argument("--steps", type=int, default=10)
     add_sweep_options(fig5)
+    add_fidelity_option(fig5)
     fig5.set_defaults(func=cmd_fig5)
 
     faults = sub.add_parser(
@@ -497,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="emit the result as JSON")
     add_sweep_options(run)
+    add_fidelity_option(run)
     run.set_defaults(func=cmd_run)
 
     profile = sub.add_parser(
@@ -569,6 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "a Chrome trace_event JSON here")
     replay.add_argument("--json", action="store_true",
                         help="emit profile + result as JSON")
+    add_fidelity_option(replay)
     replay.set_defaults(func=cmd_trace_replay)
 
     convert = trace_sub.add_parser(
@@ -583,6 +669,26 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--commands", type=int, default=0,
                          help="convert only the first N records (0 = all)")
     convert.set_defaults(func=cmd_trace_convert)
+
+    cal = sub.add_parser(
+        "calibrate", help="fit the fast-fidelity parameters from short "
+                          "cycle-accurate probes (content-addressed "
+                          "cache; see --fidelity fast elsewhere)")
+    cal.add_argument("--config", type=str, default="",
+                     help="architecture config file (flat or JSON)")
+    cal.add_argument("--cache-dir", type=str, default="",
+                     help="calibration cache directory "
+                          "(default .sweep-cache/calibration)")
+    cal.add_argument("--no-cache", action="store_true",
+                     help="re-run the probes even if a cached fit exists")
+    cal.add_argument("--check", action="store_true",
+                     help="rerun fig3/fig5 at fast fidelity and compare "
+                          "against the golden files")
+    cal.add_argument("--bound", type=float, default=0.05,
+                     help="declared relative error bound for --check")
+    cal.add_argument("--json", action="store_true",
+                     help="emit calibration (and report) as JSON")
+    cal.set_defaults(func=cmd_calibrate)
 
     report = sub.add_parser("report", help="run everything, emit markdown")
     report.add_argument("--commands", type=int, default=800)

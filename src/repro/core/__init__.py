@@ -6,6 +6,9 @@ table and figure of the paper; validation, speed and features reproduce
 Fig. 2, Fig. 6 and Table I respectively.
 """
 
+from .calibrate import (DEFAULT_ERROR_BOUND, CalibrationResult, calibrate,
+                        calibration_key, fast_architecture,
+                        fidelity_error_report)
 from .experiments import (FAULT_CAMPAIGN_FRACTIONS, TABLE2_LABELS,
                           TABLE3_LABELS, faults_architecture,
                           faults_campaign, fig3_profile, fig3_sweep,
@@ -38,7 +41,9 @@ from .validation import (PAPER_ERROR_MARGINS, REFERENCE_MBPS,
                          ValidationPoint, run_validation)
 
 __all__ = [
-    "CAPABILITY_CHECKS", "CODE_VERSION", "DesignPoint",
+    "CAPABILITY_CHECKS", "CODE_VERSION", "CalibrationResult",
+    "DEFAULT_ERROR_BOUND", "calibrate", "calibration_key",
+    "fast_architecture", "fidelity_error_report", "DesignPoint",
     "DesignSpaceExplorer", "PointFailure", "PointOutcome", "PointTimeout",
     "SweepCache", "SweepPoint",
     "SweepResult", "SweepRunner", "SweepSummary", "fingerprint",

@@ -92,21 +92,29 @@ def _breakdown_sweep(base: SsdArchitecture, n_commands: int,
 
 def fig3_sweep(n_commands: int = 2000,
                configs: Optional[List[str]] = None,
-               runner: Optional[SweepRunner] = None
-               ) -> Dict[str, BreakdownRow]:
-    """Fig. 3: sequential write over Table II with the SATA II interface."""
-    return _breakdown_sweep(SsdArchitecture(host=sata2_spec()),
-                            n_commands, configs, runner)
+               runner: Optional[SweepRunner] = None,
+               fidelity=None) -> Dict[str, BreakdownRow]:
+    """Fig. 3: sequential write over Table II with the SATA II interface.
+
+    ``fidelity`` (a :class:`~repro.ssd.fidelity.FidelityConfig` or spec
+    string) selects the abstraction level for every point; ``None``
+    keeps the default cycle-accurate models.
+    """
+    base = SsdArchitecture(host=sata2_spec())
+    if fidelity is not None:
+        base = base.with_fidelity(fidelity)
+    return _breakdown_sweep(base, n_commands, configs, runner)
 
 
 def fig4_sweep(n_commands: int = 2000,
                configs: Optional[List[str]] = None,
-               runner: Optional[SweepRunner] = None
-               ) -> Dict[str, BreakdownRow]:
+               runner: Optional[SweepRunner] = None,
+               fidelity=None) -> Dict[str, BreakdownRow]:
     """Fig. 4: the same study with PCIe Gen2 x8 + NVMe (64K commands)."""
-    return _breakdown_sweep(
-        SsdArchitecture(host=pcie_nvme_spec(generation=2, lanes=8)),
-        n_commands, configs, runner)
+    base = SsdArchitecture(host=pcie_nvme_spec(generation=2, lanes=8))
+    if fidelity is not None:
+        base = base.with_fidelity(fidelity)
+    return _breakdown_sweep(base, n_commands, configs, runner)
 
 
 #: Fig. 5 architecture: "both 4 channels 2 ways and 4 dies".
@@ -119,7 +127,8 @@ def fig5_architecture(ecc, normalized_endurance: float) -> SsdArchitecture:
 
 def fig5_wearout_sweep(fractions: Optional[List[float]] = None,
                        n_commands: int = 400,
-                       runner: Optional[SweepRunner] = None
+                       runner: Optional[SweepRunner] = None,
+                       fidelity=None
                        ) -> Dict[str, List[Tuple[float, float]]]:
     """Fig. 5: throughput vs normalized rated endurance.
 
@@ -140,6 +149,8 @@ def fig5_wearout_sweep(fractions: Optional[List[float]] = None,
         for scheme_name, ecc in (("fixed", FixedBch()),
                                  ("adaptive", AdaptiveBch())):
             arch = fig5_architecture(ecc, fraction)
+            if fidelity is not None:
+                arch = arch.with_fidelity(fidelity)
             for kind, workload, warm in (("read", read_wl, False),
                                          ("write", write_wl, True)):
                 label = f"fig5/{scheme_name}/{kind}/{fraction}"

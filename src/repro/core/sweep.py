@@ -46,7 +46,9 @@ from ..ssd.scenarios import breakdown_with_events, measure
 #: sweep-2: architectures gained the fault-injection config field.
 #: sweep-3: RunResult payloads gained stage_breakdown and are sanitized
 #: with json_safe (non-finite floats become null).
-CODE_VERSION = "sweep-3"
+#: sweep-4: architectures gained the fidelity config field (cycle/fast
+#: abstraction levels participate in every fingerprint).
+CODE_VERSION = "sweep-4"
 
 
 # ----------------------------------------------------------------------
@@ -465,7 +467,14 @@ class SweepRunner:
             done += 1
             self._emit(outcomes[index], done, len(points))
 
-        workers = min(self.workers, max(1, len(pending)))
+        # Cap the effective width at the actual core count: asking for
+        # more workers than cores only buys ProcessPoolExecutor overhead
+        # (BENCH_sweep.json measured "parallel" 7% slower than serial on
+        # a 1-CPU box), and a cap of 1 degrades to the serial in-process
+        # path — byte-identical payloads either way, per the determinism
+        # contract.
+        workers = min(self.workers, os.cpu_count() or 1,
+                      max(1, len(pending)))
         if pending:
             if workers == 1 or len(pending) == 1:
                 for index in pending:

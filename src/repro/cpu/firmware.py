@@ -205,16 +205,21 @@ class AbstractCpu(Component):
     CALIBRATED_CYCLES = 77
 
     def __init__(self, sim: Simulator, name: str = "cpu",
-                 cycles_per_command: int = 0, n_cores: int = 1,
+                 cycles_per_command: Optional[int] = None, n_cores: int = 1,
                  clock: Optional[Clock] = None,
                  parent: Optional[Component] = None):
         super().__init__(sim, name, parent)
         if n_cores < 1:
             raise ValueError(f"n_cores must be >= 1, got {n_cores}")
-        if cycles_per_command < 0:
-            raise ValueError("cycles_per_command must be >= 0")
+        if cycles_per_command is not None and cycles_per_command < 0:
+            raise ValueError("cycles_per_command must be >= 0 or None")
         self.clock = clock or Clock("cpu", frequency_hz=200e6)
-        self.cycles_per_command = cycles_per_command or self.CALIBRATED_CYCLES
+        # None means "use the calibrated default"; an explicit 0 is a
+        # legitimate zero-cost CPU (the fast-fidelity floor), so the
+        # sentinel must be None, not falsiness.
+        self.cycles_per_command = (self.CALIBRATED_CYCLES
+                                   if cycles_per_command is None
+                                   else cycles_per_command)
         self.n_cores = n_cores
         self._cores = Resource(sim, f"{name}.cores", capacity=n_cores)
         self.cycles_retired = 0
@@ -222,11 +227,13 @@ class AbstractCpu(Component):
     def process_command(self, opcode: int, lba: int, sectors: int,
                         placement: Dict[str, int]):
         """Generator: occupy a core for the per-command firmware cost."""
-        grant = self._cores.acquire()
-        yield grant
-        yield self.sim.timeout(self.clock.cycles(self.cycles_per_command))
-        self._cores.release(grant)
-        self.cycles_retired += self.cycles_per_command
+        if self.cycles_per_command:
+            grant = self._cores.acquire()
+            yield grant
+            yield self.sim.timeout(
+                self.clock.cycles(self.cycles_per_command))
+            self._cores.release(grant)
+            self.cycles_retired += self.cycles_per_command
         self.stats.counter("commands").increment()
         return {
             "channel": placement.get("channel", 0),

@@ -1,7 +1,8 @@
 """DDR2 data-buffer subsystem (DRAMSim2-style cycle-accurate model)."""
 
 from .buffer import BufferManager
-from .controller import DramController
+from .controller import DramController, FastDramController
 from .timing import DEFAULT_DDR2, Ddr2Timing
 
-__all__ = ["BufferManager", "DEFAULT_DDR2", "Ddr2Timing", "DramController"]
+__all__ = ["BufferManager", "DEFAULT_DDR2", "Ddr2Timing", "DramController",
+           "FastDramController"]

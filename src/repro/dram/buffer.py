@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..kernel import Component, Simulator, Store
-from .controller import DramController
+from .controller import DramController, FastDramController
 from .timing import Ddr2Timing
 
 
@@ -28,7 +28,10 @@ class BufferManager(Component):
                  timing: Ddr2Timing, n_channels: int,
                  capacity_bytes_per_buffer: int = 8 << 20,
                  parent: Optional[Component] = None,
-                 enable_refresh: bool = True):
+                 enable_refresh: bool = True,
+                 fast: bool = False,
+                 fast_overhead_ps: Optional[int] = None,
+                 fast_ps_per_byte: Optional[float] = None):
         super().__init__(sim, name, parent)
         if n_buffers < 1:
             raise ValueError(f"n_buffers must be >= 1, got {n_buffers}")
@@ -41,11 +44,22 @@ class BufferManager(Component):
         self.n_buffers = n_buffers
         self.n_channels = n_channels
         self.capacity_bytes = capacity_bytes_per_buffer
-        self.buffers: List[DramController] = [
-            DramController(sim, f"buf{i}", timing, parent=self,
-                           enable_refresh=enable_refresh)
-            for i in range(n_buffers)
-        ]
+        self.fast = fast
+        if fast:
+            # Queue-model devices: refresh is an analytic derate (or a
+            # calibrated fit), so enable_refresh does not apply.
+            self.buffers = [
+                FastDramController(sim, f"buf{i}", timing, parent=self,
+                                   overhead_ps=fast_overhead_ps,
+                                   ps_per_byte=fast_ps_per_byte)
+                for i in range(n_buffers)
+            ]
+        else:
+            self.buffers: List[DramController] = [
+                DramController(sim, f"buf{i}", timing, parent=self,
+                               enable_refresh=enable_refresh)
+                for i in range(n_buffers)
+            ]
         self._occupancy = [0] * n_buffers
         # Waiters blocked on space, per buffer (FIFO).
         self._space_waiters: List[Store] = [
@@ -114,6 +128,10 @@ class BufferManager(Component):
     def write(self, buffer_index: int, nbytes: int):
         """Generator: write ``nbytes`` into a buffer device."""
         address = self.stream_address(buffer_index, nbytes)
+        if self.fast:
+            # Inline: same simulated timing, no sub-process events.
+            return (yield from
+                    self.buffers[buffer_index].write(address, nbytes))
         result = yield self.sim.process(
             self.buffers[buffer_index].write(address, nbytes))
         return result
@@ -121,6 +139,9 @@ class BufferManager(Component):
     def read(self, buffer_index: int, nbytes: int):
         """Generator: read ``nbytes`` from a buffer device."""
         address = self.stream_address(buffer_index, nbytes)
+        if self.fast:
+            return (yield from
+                    self.buffers[buffer_index].read(address, nbytes))
         result = yield self.sim.process(
             self.buffers[buffer_index].read(address, nbytes))
         return result

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..kernel import Component, PriorityResource, Simulator
+from ..kernel import Component, PriorityResource, Resource, Simulator
 from ..obs import spans as _obs
 from .timing import Ddr2Timing
 
@@ -161,6 +161,76 @@ class DramController(Component):
             for bank, grant in zip(self._banks, grants[:-1]):
                 bank.release(grant)
             self.stats.counter("refreshes").increment()
+
+    def utilization(self) -> float:
+        """Busy fraction of the device bus."""
+        return self.bus.utilization()
+
+
+class FastDramController(Component):
+    """Fast-fidelity DRAM device: a single-server queue model.
+
+    Each access is one bus tenure of ``overhead + nbytes * ps_per_byte``
+    — two kernel events instead of the per-segment ACT/CAS/burst chain
+    — while FCFS contention on the shared device bus is kept as a real
+    Resource, so back-pressure and utilization still emerge.  Refresh is
+    not simulated; its bandwidth loss is folded into the per-byte cost
+    as an analytic derate (tRFC / tREFI duty, ~1.6% for DDR2-800),
+    unless calibrated parameters override the defaults.
+
+    Exposes the same generator interface and stats as
+    :class:`DramController`, so the buffer manager can swap the two
+    freely.
+    """
+
+    def __init__(self, sim: Simulator, name: str, timing: Ddr2Timing,
+                 parent: Optional[Component] = None,
+                 overhead_ps: Optional[int] = None,
+                 ps_per_byte: Optional[float] = None):
+        super().__init__(sim, name, parent)
+        self.timing = timing
+        self.bus = Resource(sim, f"{name}.bus", capacity=1)
+        if overhead_ps is None:
+            overhead_ps = timing.activate_to_read_ps()
+        if ps_per_byte is None:
+            # Streaming burst cost, derated by the refresh duty cycle
+            # (calibrated parameters already include refresh, so the
+            # derate applies only to this analytic default).
+            duty = timing.refresh_ps() / timing.refresh_interval_ps
+            ps_per_byte = (timing.burst_ps(1) / timing.burst_bytes
+                           / (1.0 - duty))
+        if overhead_ps < 0:
+            raise ValueError("overhead_ps must be >= 0")
+        if ps_per_byte <= 0:
+            raise ValueError("ps_per_byte must be positive")
+        self.overhead_ps = int(overhead_ps)
+        self.ps_per_byte = float(ps_per_byte)
+
+    def access(self, byte_address: int, nbytes: int, is_write: bool):
+        """Generator: serve a read or write; returns elapsed ps."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        start = self.sim.now
+        grant = self.bus.acquire()
+        yield grant
+        service = self.overhead_ps + int(round(nbytes * self.ps_per_byte))
+        yield self.sim.timeout(service)
+        self.bus.release(grant)
+        elapsed = self.sim.now - start
+        if _obs.enabled:
+            _obs.record_span(self.path(), "dram_buffer", start, self.sim.now)
+        self.stats.counter("writes" if is_write else "reads").increment()
+        self.stats.meter("data").record(nbytes)
+        self.stats.accumulator("latency_ps").add(elapsed)
+        return elapsed
+
+    def write(self, byte_address: int, nbytes: int):
+        """Generator: buffered write."""
+        return self.access(byte_address, nbytes, is_write=True)
+
+    def read(self, byte_address: int, nbytes: int):
+        """Generator: buffered read."""
+        return self.access(byte_address, nbytes, is_write=False)
 
     def utilization(self) -> float:
         """Busy fraction of the device bus."""

@@ -60,7 +60,11 @@ class NandDie(Component):
         #: (ONFI interleaved-plane issue overhead).
         self.multiplane_overhead_ps = 2_000_000  # 2 us
         # (plane, block) -> write pointer (next programmable page index).
+        # Blocks absent from the dict sit at `_preload_default`: 0 for a
+        # factory-fresh die, pages_per_block after preload_all() — which
+        # makes whole-die preloading O(1) instead of O(blocks).
         self._write_pointers: Dict[Tuple[int, int], int] = {}
+        self._preload_default = 0
         # (plane, block) -> BlockWearState, created lazily.
         self._wear: Dict[Tuple[int, int], BlockWearState] = {}
         self._busy_tracker = self.stats.utilization("array")
@@ -93,7 +97,8 @@ class NandDie(Component):
 
     def write_pointer(self, plane: int, block: int) -> int:
         """Next page due for programming in a block (0 if erased/fresh)."""
-        return self._write_pointers.get((plane, block), 0)
+        return self._write_pointers.get((plane, block),
+                                        self._preload_default)
 
     def rber(self, plane: int, block: int) -> float:
         """Raw bit error rate of pages in this block at current wear."""
@@ -164,7 +169,8 @@ class NandDie(Component):
         """
         self.geometry.validate(address)
         key = (address.plane, address.block)
-        if address.page >= self._write_pointers.get(key, 0):
+        if address.page >= self._write_pointers.get(key,
+                                                    self._preload_default):
             self.stats.counter("reads_unwritten").increment()
         self._begin(self.READING)
         duration = self.timing.read_time(address.page,
@@ -186,7 +192,7 @@ class NandDie(Component):
         """Array program; enforces erase-before-write and page order."""
         self.geometry.validate(address)
         key = (address.plane, address.block)
-        pointer = self._write_pointers.get(key, 0)
+        pointer = self._write_pointers.get(key, self._preload_default)
         if address.page != pointer:
             raise NandProtocolError(
                 f"{self.path()}: program page {address.page} of block "
@@ -355,6 +361,15 @@ class NandDie(Component):
         if not 0 <= count <= self.geometry.pages_per_block:
             raise ValueError(f"pages {count} out of range")
         self._write_pointers[(plane, block)] = count
+
+    def preload_all(self) -> None:
+        """Mark every block of the die fully programmed, in O(1).
+
+        Equivalent to calling :meth:`preload_block` for every block —
+        blocks with an explicit pointer keep it; everything else reads
+        as fully written until erased.
+        """
+        self._preload_default = self.geometry.pages_per_block
 
     # ------------------------------------------------------------------
     # Internals

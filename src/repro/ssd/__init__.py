@@ -4,6 +4,7 @@ workload-run metrics."""
 
 from .architecture import (CachePolicy, CpuMode, SsdArchitecture,
                            from_config, parse_geometry_label)
+from .fidelity import Fidelity, FidelityConfig, fidelity_from_spec
 from .device import DataPathMode, SsdDevice
 from .energy import DEFAULT_ENERGY, EnergyModel
 from .ftl_device import FtlSsdDevice
@@ -13,9 +14,10 @@ from .scenarios import BreakdownRow, breakdown, host_ideal_mbps, measure
 
 __all__ = [
     "BreakdownRow", "CachePolicy", "CpuMode", "DEFAULT_ENERGY",
-    "DataPathMode", "EnergyModel", "FtlSsdDevice", "RunResult",
+    "DataPathMode", "EnergyModel", "Fidelity", "FidelityConfig",
+    "FtlSsdDevice", "RunResult",
     "SsdArchitecture", "SsdDevice",
     "breakdown", "collect_reliability", "collect_utilizations",
-    "from_config", "host_ideal_mbps",
+    "fidelity_from_spec", "from_config", "host_ideal_mbps",
     "measure", "parse_geometry_label", "run_workload",
 ]

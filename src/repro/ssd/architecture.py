@@ -26,6 +26,7 @@ from ..nand.geometry import NandGeometry
 from ..nand.onfi import OnfiTiming
 from ..nand.timing import MlcTimingModel
 from ..nand.wear import WearModel
+from .fidelity import Fidelity, FidelityConfig, fidelity_from_spec
 
 
 class CachePolicy(enum.Enum):
@@ -67,12 +68,15 @@ class SsdArchitecture:
     gang_scheme: GangScheme = GangScheme.SHARED_BUS
     cpu_mode: CpuMode = CpuMode.ABSTRACT
     cpu_cores: int = 1
-    cpu_cycles_per_command: int = 0   # 0 = calibrated default
+    #: None = calibrated default; an explicit 0 is a zero-cost CPU.
+    cpu_cycles_per_command: Optional[int] = None
     initial_pe_cycles: int = 0
     buffer_capacity_bytes: int = 1 << 20   # write-cache share per buffer
     dram_refresh: bool = True
     #: Fault-injection campaign; disabled by default (zero overhead).
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Per-subsystem abstraction level (the fidelity dial).
+    fidelity: FidelityConfig = field(default_factory=FidelityConfig)
 
     def __post_init__(self) -> None:
         for name in ("n_channels", "n_ways", "dies_per_way", "n_ddr_buffers",
@@ -84,6 +88,15 @@ class SsdArchitecture:
                              "(paper, Section III-C2)")
         if self.initial_pe_cycles < 0:
             raise ValueError("initial_pe_cycles must be >= 0")
+        if (self.cpu_cycles_per_command is not None
+                and self.cpu_cycles_per_command < 0):
+            raise ValueError("cpu_cycles_per_command must be >= 0 or None")
+        if self.faults.enabled and self.fidelity.any_fast:
+            # The fast paths fold away the per-phase retry/remap hooks
+            # that fault injection instruments; refusing the combination
+            # is better than silently dropping faults.
+            raise ValueError("fault injection requires cycle fidelity "
+                             "(fidelity and faults.enabled are exclusive)")
 
     # ------------------------------------------------------------------
     @property
@@ -108,6 +121,16 @@ class SsdArchitecture:
 
     def with_faults(self, faults: FaultConfig) -> "SsdArchitecture":
         return replace(self, faults=faults)
+
+    def with_fidelity(self, fidelity) -> "SsdArchitecture":
+        """Same design point at a different abstraction level.
+
+        Accepts a :class:`FidelityConfig` or a spec string like
+        ``"fast"`` / ``"fast,dram=cycle"``.
+        """
+        if isinstance(fidelity, str):
+            fidelity = fidelity_from_spec(fidelity)
+        return replace(self, fidelity=fidelity)
 
     def scaled(self, **overrides: Any) -> "SsdArchitecture":
         """Convenience wrapper around :func:`dataclasses.replace`."""
@@ -160,6 +183,11 @@ def from_config(config: Dict[str, Any],
         gang.scheme         = shared-bus | shared-control
         cpu.mode            = abstract | firmware
         cpu.cores           = 1
+        cpu.cycles_per_command = 77
+        fidelity.default    = cycle | fast
+        fidelity.nand       = cycle | fast
+        fidelity.dram       = cycle | fast
+        fidelity.cpu        = cycle | fast
         ftl.random_waf      = 3.0
         nand.initial_pe     = 0
         faults.enabled      = true
@@ -224,6 +252,17 @@ def from_config(config: Dict[str, Any],
         overrides["cpu_mode"] = CpuMode(cpu_mode)
     if "cpu.cores" in config:
         overrides["cpu_cores"] = int(config["cpu.cores"])
+    if "cpu.cycles_per_command" in config:
+        overrides["cpu_cycles_per_command"] = \
+            int(config["cpu.cycles_per_command"])
+
+    if any(key.startswith("fidelity.") for key in config):
+        fidelity_overrides: Dict[str, Any] = {}
+        for key in ("default", "nand", "dram", "cpu"):
+            config_key = f"fidelity.{key}"
+            if config_key in config:
+                fidelity_overrides[key] = str(config[config_key])
+        overrides["fidelity"] = replace(arch.fidelity, **fidelity_overrides)
 
     if "ftl.random_waf" in config:
         overrides["waf"] = WafModel(

@@ -37,6 +37,7 @@ from ..kernel.tracing import trace, trace_enabled
 from ..obs import spans as _obs
 from ..nand.geometry import PageAddress
 from .architecture import CachePolicy, CpuMode, SsdArchitecture
+from .fidelity import Fidelity
 
 
 class DataPathMode(enum.Enum):
@@ -58,19 +59,34 @@ class SsdDevice(Component):
         self.arch = arch
         self.mode = mode
 
+        # Fidelity dial: each subsystem resolves its abstraction level
+        # (cycle-accurate golden model vs calibrated fast path) here.
+        fidelity = arch.fidelity
+        nand_fast = fidelity.level("nand") is Fidelity.FAST
+        cpu_fast = fidelity.level("cpu") is Fidelity.FAST
+        self._dram_fast = fidelity.level("dram") is Fidelity.FAST
+
         self.hostif = HostInterface(sim, arch.host, parent=self)
         self.buffers = BufferManager(
             sim, "buffers", arch.n_ddr_buffers, arch.dram_timing,
             arch.n_channels,
             capacity_bytes_per_buffer=arch.buffer_capacity_bytes,
-            parent=self, enable_refresh=arch.dram_refresh)
+            parent=self, enable_refresh=arch.dram_refresh,
+            fast=self._dram_fast,
+            fast_overhead_ps=fidelity.dram_overhead_ps,
+            fast_ps_per_byte=fidelity.dram_ps_per_byte)
 
         self.ahb = AhbBus(sim, "ahb", parent=self)
-        if arch.cpu_mode is CpuMode.FIRMWARE:
+        if arch.cpu_mode is CpuMode.FIRMWARE and not cpu_fast:
             self.cpu = FirmwareCpu(sim, "cpu", ahb=self.ahb, parent=self)
         else:
+            # Fast CPU: the parametric model with the calibrated fixed
+            # per-command cost (the existing cycles_per_command hook).
+            cycles = arch.cpu_cycles_per_command
+            if cpu_fast and fidelity.cpu_cycles is not None:
+                cycles = fidelity.cpu_cycles
             self.cpu = AbstractCpu(
-                sim, "cpu", cycles_per_command=arch.cpu_cycles_per_command,
+                sim, "cpu", cycles_per_command=cycles,
                 n_cores=arch.cpu_cores, parent=self)
 
         self.channels: List[ChannelWayController] = [
@@ -78,7 +94,10 @@ class SsdDevice(Component):
                 sim, f"chn{c}", arch.n_ways, arch.dies_per_way,
                 arch.geometry, arch.nand_timing, arch.wear_model,
                 arch.onfi_timing, arch.ecc, gang_scheme=arch.gang_scheme,
-                initial_pe_cycles=arch.initial_pe_cycles, parent=self)
+                initial_pe_cycles=arch.initial_pe_cycles,
+                fast=nand_fast,
+                fast_overhead_ps=fidelity.nand_overhead_ps or 0,
+                parent=self)
             for c in range(arch.n_channels)
         ]
 
@@ -251,8 +270,27 @@ class SsdDevice(Component):
         for channel in self.channels:
             for way_dies in channel.dies:
                 for die in way_dies:
-                    for plane, block in die.geometry.iter_blocks():
-                        die.preload_block(plane, block)
+                    die.preload_all()
+
+    # ------------------------------------------------------------------
+    # Data movement helpers
+    # ------------------------------------------------------------------
+    def _ppdma_move(self, controller: ChannelWayController, mover,
+                    nbytes: int):
+        """Generator: move one page between DRAM and the channel SRAM.
+
+        Cycle fidelity runs the descriptor through the PP-DMA engine as
+        a sub-process; fast DRAM fidelity charges the setup latency and
+        runs the mover inline (same simulated cost, no per-descriptor
+        process or context events — the 2-context limit is a declared
+        fast-path approximation).
+        """
+        if self._dram_fast:
+            if controller.ppdma.setup_ps:
+                yield self.sim.timeout(controller.ppdma.setup_ps)
+            return (yield from mover)
+        return (yield self.sim.process(
+            controller.ppdma.execute(mover, nbytes=nbytes)))
 
     # ------------------------------------------------------------------
     # Compression helpers
@@ -393,9 +431,9 @@ class SsdDevice(Component):
         self._pack_fill[channel_index] = fill - pages * page_bytes
         def page_job(target):
             # PP-DMA pulls the page out of the DRAM buffer...
-            yield sim.process(controller.ppdma.execute(
-                self.buffers.read(buffer_index, page_bytes),
-                nbytes=page_bytes))
+            yield from self._ppdma_move(
+                controller, self.buffers.read(buffer_index, page_bytes),
+                page_bytes)
             # ...then the controller encodes, transfers and programs it;
             # allocation + program are atomic per die.
             if self.fault_plan is not None:
@@ -504,9 +542,9 @@ class SsdDevice(Component):
                 # media error status, no data crosses the host link.
                 self._fail(command, IoStatus.UNCORRECTABLE)
                 return
-            yield sim.process(controller.ppdma.execute(
-                self.buffers.write(buffer_index, page_bytes),
-                nbytes=page_bytes))
+            yield from self._ppdma_move(
+                controller, self.buffers.write(buffer_index, page_bytes),
+                page_bytes)
             if span is not None:
                 span.mark("dram_buffer", sim.now)
         if self.mode is not DataPathMode.DDR_FLASH:
