@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench sweep faults profile trace fidelity golden \
-	golden-refresh
+.PHONY: test test-fast bench sweep campaign faults profile trace fidelity \
+	golden golden-refresh
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -37,6 +37,13 @@ profile:
 # REPRO_BENCH_COMMANDS (workload length), REPRO_SWEEP_WORKERS (width).
 sweep:
 	$(PYTHON) benchmarks/bench_sweep.py
+
+# Campaign-engine benchmark: two-worker crash/resume against the golden
+# fig3 payloads, plus adaptive vs exhaustive exploration of the fig3
+# grid; merges a `campaign` section into BENCH_sweep.json.  Knobs:
+# REPRO_BENCH_COMMANDS (grid workload length), REPRO_ADAPTIVE_BUDGET.
+campaign:
+	$(PYTHON) benchmarks/bench_campaign.py
 
 # Trace-ingestion smoke: characterize, replay and format-convert the
 # bundled sample trace end to end through the CLI.

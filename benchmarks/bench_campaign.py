@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Campaign-engine benchmark: crash/resume against the golden figures,
+plus adaptive vs exhaustive exploration of the fig3 grid.
+
+Two measurements:
+
+1. **Crash/resume vs golden** — a two-worker campaign on the golden
+   fig3 grid (C1+C6, 120 commands); one worker is SIGKILLed mid-flight,
+   the campaign resumes, and the SQLite-stored payloads must match
+   ``tests/golden/fig3.json`` byte-for-byte.
+2. **Adaptive vs exhaustive** — the full 10-config Table II grid at
+   cycle fidelity (exhaustive) vs the successive-halving campaign
+   (screen at calibrated ``fast``, promote the Pareto band to cycle).
+   The adaptive run must reach the same cycle-fidelity Pareto frontier
+   while simulating at most half the grid at cycle fidelity; point
+   counts and wall clocks land in EXPERIMENTS.md.
+
+Results merge into ``BENCH_sweep.json`` under a ``campaign`` key (the
+serial/parallel/warm sections from ``bench_sweep.py`` are preserved).
+
+Knobs: ``REPRO_BENCH_COMMANDS`` (grid workload length, default 200),
+``REPRO_ADAPTIVE_BUDGET`` (cycle-tier budget fraction, default 0.5).
+
+Usage::
+
+    make campaign                                 # or:
+    PYTHONPATH=src python benchmarks/bench_campaign.py
+"""
+
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import multiprocessing  # noqa: E402
+
+from repro.core import (Campaign, CampaignRunner, ResourceCostModel,  # noqa: E402
+                        adaptive_fig3, entry_frontier, fig3_sweep,
+                        run_worker)
+from repro.core.experiments import breakdown_points, table2_configs  # noqa: E402
+from repro.core.pareto import ParetoEntry  # noqa: E402
+from repro.host.interface import sata2_spec  # noqa: E402
+from repro.ssd import SsdArchitecture  # noqa: E402
+from repro.ssd.scenarios import BreakdownRow  # noqa: E402
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+OUT_PATH = os.path.join(ROOT, "BENCH_sweep.json")
+GOLDEN_FIG3 = os.path.join(ROOT, "tests", "golden", "fig3.json")
+
+
+def crash_resume_vs_golden() -> dict:
+    """Two workers, one killed mid-flight, resume, compare to golden."""
+    points = breakdown_points(SsdArchitecture(host=sata2_spec()),
+                              n_commands=120, configs=["C1", "C6"])
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
+        directory = os.path.join(tmp, "golden")
+        Campaign.ensure(directory, points, name="golden-fig3")
+        context = multiprocessing.get_context("fork")
+        workers = [context.Process(target=run_worker, args=(directory,))
+                   for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        time.sleep(0.4)  # let the victim claim (and maybe publish) work
+        os.kill(workers[0].pid, signal.SIGKILL)
+        workers[0].join(timeout=10.0)
+        workers[1].join(timeout=300.0)
+
+        # Resume: republish whatever the killed worker left behind.
+        runner = CampaignRunner(directory, workers=1, name="golden-fig3")
+        result = runner.run(points)
+        recomputed = result.summary.simulated
+        with Campaign.open(directory).store() as store:
+            stored = store.payloads("golden-fig3")
+    wall = time.perf_counter() - started
+
+    report = {name: BreakdownRow.from_dict(payload).as_dict()
+              for name, payload in stored.items()}
+    with open(GOLDEN_FIG3, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    if report != golden:
+        raise SystemExit("crash/resume campaign diverged from "
+                         "tests/golden/fig3.json")
+    return {"wall_seconds": round(wall, 3), "points": len(points),
+            "recomputed_after_kill": recomputed,
+            "matches_golden": True}
+
+
+def adaptive_vs_exhaustive(n_commands: int, budget: float) -> dict:
+    """Full fig3 grid: exhaustive cycle sweep vs adaptive campaign."""
+    cost_model = ResourceCostModel()
+    configs = table2_configs(SsdArchitecture(host=sata2_spec()))
+
+    started = time.perf_counter()
+    exhaustive_rows = fig3_sweep(n_commands=n_commands)
+    exhaustive_wall = time.perf_counter() - started
+    exhaustive_frontier = entry_frontier(
+        [ParetoEntry(name=name, cost=cost_model.cost(configs[name]),
+                     value=row.ssd_cache_mbps)
+         for name, row in exhaustive_rows.items()])
+
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-adaptive-") as tmp:
+        outcome = adaptive_fig3(
+            n_commands=n_commands, budget_fraction=budget,
+            runner=CampaignRunner(os.path.join(tmp, "adaptive"),
+                                  workers=1, name="adaptive-fig3"))
+    adaptive_wall = time.perf_counter() - started
+
+    adaptive_names = [entry.name for entry in outcome.cycle_frontier]
+    exhaustive_names = [entry.name for entry in exhaustive_frontier]
+    if adaptive_names != exhaustive_names:
+        raise SystemExit(
+            f"adaptive frontier {adaptive_names} != exhaustive "
+            f"{exhaustive_names}")
+    if outcome.cycle_point_fraction > budget + 1e-9:
+        raise SystemExit(
+            f"adaptive promoted {outcome.cycle_point_fraction:.0%} of "
+            f"the grid at cycle fidelity (budget {budget:.0%})")
+    return {
+        "n_commands": n_commands,
+        "budget_fraction": budget,
+        "grid_points": len(outcome.screened),
+        "exhaustive_cycle_points": len(exhaustive_rows),
+        "adaptive_cycle_points": len(outcome.promoted),
+        "adaptive_fast_points": len(outcome.screened),
+        "cycle_point_fraction": round(outcome.cycle_point_fraction, 3),
+        "exhaustive_wall_seconds": round(exhaustive_wall, 3),
+        "adaptive_wall_seconds": round(adaptive_wall, 3),
+        "frontier": adaptive_names,
+        "frontiers_match": True,
+    }
+
+
+def main() -> int:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise SystemExit("bench_campaign needs the fork start method")
+    n_commands = int(os.environ.get("REPRO_BENCH_COMMANDS", "200"))
+    budget = float(os.environ.get("REPRO_ADAPTIVE_BUDGET", "0.5"))
+
+    print("campaign crash/resume vs golden fig3 (2 workers, 1 killed)")
+    crash = crash_resume_vs_golden()
+    print(f"  resumed in {crash['wall_seconds']:.2f}s, "
+          f"{crash['recomputed_after_kill']} point(s) recomputed, "
+          f"report matches golden")
+
+    print(f"adaptive vs exhaustive fig3 grid ({n_commands} commands, "
+          f"budget {budget:.0%})")
+    adaptive = adaptive_vs_exhaustive(n_commands, budget)
+    print(f"  exhaustive: {adaptive['exhaustive_cycle_points']} cycle "
+          f"points in {adaptive['exhaustive_wall_seconds']:.2f}s")
+    print(f"  adaptive  : {adaptive['adaptive_cycle_points']} cycle + "
+          f"{adaptive['adaptive_fast_points']} fast points in "
+          f"{adaptive['adaptive_wall_seconds']:.2f}s "
+          f"({adaptive['cycle_point_fraction']:.0%} of grid at cycle)")
+    print(f"  frontier  : {', '.join(adaptive['frontier'])} (identical)")
+
+    try:
+        with open(OUT_PATH, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {}
+    report["campaign"] = {"crash_resume": crash,
+                          "adaptive_vs_exhaustive": adaptive}
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ Usage::
     python -m repro run --config ssd.cfg --workload SW --commands 1000
     python -m repro profile --workload SR --trace-out trace.json
     python -m repro explore --configs C1,C2,C6,C8
+    python -m repro campaign run camp/ --experiment fig3 --workers 4
+    python -m repro campaign report camp/ --where "latency_us.p99<=2000"
     python -m repro report --out report.md   # everything, as markdown
 
 Every subcommand prints the same rows/series the paper's tables and
@@ -71,6 +73,11 @@ def add_sweep_options(parser: argparse.ArgumentParser) -> None:
                         help="per-point time budget in seconds "
                              "(0 = unlimited); a point over budget is "
                              "recorded as failed, not crashed")
+    parser.add_argument("--campaign", type=str, default="",
+                        help="run through a durable campaign directory "
+                             "(leased work-queue + SQLite result store); "
+                             "resumable, shareable between workers — see "
+                             "'repro campaign'")
 
 
 def add_fidelity_option(parser: argparse.ArgumentParser) -> None:
@@ -100,13 +107,31 @@ def fidelity_from_cli(args: argparse.Namespace, arch=None):
     return config
 
 
-def runner_from_args(args: argparse.Namespace,
-                     quiet: bool = False) -> SweepRunner:
-    """Build the SweepRunner an argparse namespace describes."""
+def runner_from_args(args: argparse.Namespace, quiet: bool = False):
+    """Build the sweep/campaign runner an argparse namespace describes.
+
+    With ``--campaign DIR`` the points run through a durable
+    :class:`~repro.core.campaign.CampaignRunner` (always resumable, so
+    ``--resume`` is implied); otherwise a plain :class:`SweepRunner`.
+    """
     cache_dir = (getattr(args, "cache_dir", "")
                  or os.environ.get("REPRO_SWEEP_CACHE_DIR", "")) or None
     no_cache = getattr(args, "no_cache", False)
     resume = getattr(args, "resume", False)
+    workers = getattr(args, "workers", 1) or None   # 0 -> all cores
+    timeout = getattr(args, "timeout", 0.0) or None  # 0 -> unlimited
+    campaign_dir = getattr(args, "campaign", "")
+    if campaign_dir:
+        if no_cache:
+            raise SystemExit("--campaign and --no-cache are contradictory: "
+                             "a campaign IS its durable result cache")
+        if cache_dir is not None:
+            raise SystemExit("--campaign keeps results inside the campaign "
+                             "directory; drop --cache-dir")
+        from .core import CampaignRunner
+        return CampaignRunner(campaign_dir, workers=workers,
+                              progress=None if quiet else print_progress,
+                              timeout_s=timeout)
     if resume and no_cache:
         raise SystemExit("--resume and --no-cache are contradictory: "
                          "resuming replays cached partial results")
@@ -114,8 +139,6 @@ def runner_from_args(args: argparse.Namespace,
         raise SystemExit("--resume needs --cache-dir (or "
                          "REPRO_SWEEP_CACHE_DIR) pointing at the "
                          "interrupted sweep's cache")
-    workers = getattr(args, "workers", 1) or None   # 0 -> all cores
-    timeout = getattr(args, "timeout", 0.0) or None  # 0 -> unlimited
     return SweepRunner(workers=workers,
                        cache_dir=None if no_cache else cache_dir,
                        use_cache=not no_cache,
@@ -515,6 +538,182 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return _print_summary(runner)
 
 
+def cmd_trace_sweep(args: argparse.Namespace) -> int:
+    """Replay one trace across Table II design points (sweep or
+    campaign), printing per-point sustained MB/s."""
+    from .core.tracereplay import TraceWorkload, trace_sweep_points
+    workload = TraceWorkload.from_file(
+        args.trace, fmt=args.format,
+        honor_issue_times=not args.closed_loop,
+        precondition=args.precondition,
+        max_commands=args.commands or None)
+    runner = runner_from_args(args)
+    points = trace_sweep_points(workload, _parse_configs(args.configs))
+    result = runner.run(points)
+    if args.json:
+        print(render_json({"trace": args.trace, "sha256": workload.sha256,
+                           "rows": result.payloads()}))
+    else:
+        header = f"{'point':<6} {'MB/s':>8} {'IOPS':>9} {'p99 us':>9}"
+        print(header)
+        print("-" * len(header))
+        for outcome in result.outcomes:
+            if outcome.failed:
+                continue
+            payload = outcome.payload
+            print(f"{outcome.name:<6} {payload['sustained_mbps']:>8.1f} "
+                  f"{payload['iops']:>9.0f} "
+                  f"{payload['latency_us']['p99']:>9.1f}")
+    return _print_summary(runner)
+
+
+# ----------------------------------------------------------------------
+# repro campaign …
+
+
+def _campaign_constraints(texts: List[str]):
+    from .core import parse_constraint
+    try:
+        return [parse_constraint(text) for text in texts]
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Run (or resume) a canonical experiment as a campaign."""
+    from .core import CampaignRunner, adaptive_fig3
+    runner = CampaignRunner(args.dir, workers=args.workers or None,
+                            name=args.name or args.experiment,
+                            progress=None if args.quiet
+                            else print_progress,
+                            timeout_s=args.timeout or None)
+    if args.experiment == "adaptive":
+        outcome = adaptive_fig3(n_commands=args.commands,
+                                configs=_parse_configs(args.configs),
+                                budget_fraction=args.budget, runner=runner)
+        print(outcome.format())
+        return _print_summary(runner)
+    if args.experiment in ("fig3", "fig4"):
+        sweep = fig3_sweep if args.experiment == "fig3" else fig4_sweep
+        rows = sweep(n_commands=args.commands,
+                     configs=_parse_configs(args.configs), runner=runner,
+                     fidelity=fidelity_from_cli(args))
+        print(render_breakdown_table(rows))
+        return _print_summary(runner)
+    if args.experiment == "fig5":
+        series = fig5_wearout_sweep(n_commands=args.commands, runner=runner,
+                                    fidelity=fidelity_from_cli(args))
+        print(render_series_table(series))
+        return _print_summary(runner)
+    raise SystemExit(f"unknown experiment {args.experiment!r}")
+
+
+def cmd_campaign_worker(args: argparse.Namespace) -> int:
+    """Join an existing campaign as one worker process."""
+    from .core import CampaignError, run_worker
+    try:
+        executed = run_worker(args.dir, timeout_s=args.timeout or None,
+                              lease_ttl_s=args.ttl)
+    except CampaignError as error:
+        raise SystemExit(str(error))
+    print(f"worker done: executed {executed} point(s)")
+    return 0
+
+
+def _open_campaign(directory: str):
+    from .core import Campaign, CampaignError
+    try:
+        return Campaign.open(directory)
+    except CampaignError as error:
+        raise SystemExit(str(error))
+
+
+def _campaign_id(store, override: str) -> str:
+    if override:
+        return override
+    campaigns = store.campaigns()
+    if not campaigns:
+        raise SystemExit("the campaign store is empty — run some points "
+                         "first")
+    return campaigns[0]["campaign_id"]
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    campaign = _open_campaign(args.dir)
+    status = campaign.status()
+    if args.json:
+        print(render_json(status.to_dict()))
+    else:
+        print(status.format())
+    return 0
+
+
+def cmd_campaign_query(args: argparse.Namespace) -> int:
+    """Rank points by any stored metric, with constraint filters."""
+    campaign = _open_campaign(args.dir)
+    with campaign.store() as store:
+        campaign_id = _campaign_id(store, args.campaign_id)
+        if args.list_metrics:
+            for metric in store.metric_names(campaign_id):
+                print(metric)
+            return 0
+        rows = store.query(campaign_id, args.metric,
+                           where=_campaign_constraints(args.where),
+                           top=args.top or None, ascending=args.ascending)
+    if args.json:
+        print(render_json({"campaign": campaign_id, "metric": args.metric,
+                           "rows": [{"name": name, "value": value}
+                                    for name, value in rows]}))
+    else:
+        for name, value in rows:
+            print(f"{name:<24} {value:12.3f}")
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    """Decision support: Pareto frontier, best-under-constraint,
+    failure post-mortems."""
+    campaign = _open_campaign(args.dir)
+    with campaign.store() as store:
+        campaign_id = _campaign_id(store, args.campaign_id)
+        counts = store.status_counts(campaign_id)
+        frontier = store.pareto_frontier(campaign_id, args.metric)
+        constraints = _campaign_constraints(args.where)
+        best = store.best_under_constraint(campaign_id, args.metric,
+                                           constraints)
+        failures = store.failures(campaign_id)
+    if args.json:
+        print(render_json({
+            "campaign": campaign_id, "metric": args.metric,
+            "counts": counts,
+            "pareto_frontier": [
+                {"name": e.name, "cost": e.cost, "value": e.value}
+                for e in frontier],
+            "best": None if best is None else
+            {"name": best.name, "cost": best.cost, "value": best.value},
+            "failures": failures,
+        }))
+        return 1 if counts.get("failed") else 0
+    print(f"campaign : {campaign_id} — {counts.get('ok', 0)} ok, "
+          f"{counts.get('failed', 0)} failed")
+    print(f"pareto frontier ({args.metric} vs resource cost):")
+    for entry in frontier:
+        print(f"  {entry.name:<24} cost {entry.cost:8.0f}  "
+              f"{entry.value:10.2f}")
+    if best is not None:
+        suffix = (" under " + ", ".join(args.where)) if args.where else ""
+        print(f"best {args.metric}{suffix}: {best.name} "
+              f"({best.value:.2f} at cost {best.cost:.0f})")
+    elif args.where:
+        print(f"no point satisfies {args.where}")
+    if failures:
+        print(f"failures ({len(failures)}):")
+        for row in failures:
+            print(f"  {row['name']}: {row['error_type']}: "
+                  f"{row['message']}")
+    return 1 if counts.get("failed") else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -657,6 +856,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_fidelity_option(replay)
     replay.set_defaults(func=cmd_trace_replay)
 
+    tsweep = trace_sub.add_parser(
+        "sweep", help="replay one trace across Table II design points "
+                      "(supports --campaign for durable, resumable runs)")
+    tsweep.add_argument("trace", help="trace file (any format)")
+    tsweep.add_argument("--format", type=str, default="auto",
+                        help="native | msr | blkparse | auto")
+    tsweep.add_argument("--configs", type=str, default="",
+                        help="comma-separated subset of C1..C10")
+    tsweep.add_argument("--commands", type=int, default=0,
+                        help="replay only the first N records (0 = all)")
+    tsweep.add_argument("--closed-loop", action="store_true",
+                        help="ignore trace issue times; saturate the queue")
+    tsweep.add_argument("--precondition", type=str, default="none",
+                        choices=["none", "fill", "steady"],
+                        help="warm-up before measuring")
+    tsweep.add_argument("--json", action="store_true",
+                        help="emit per-point results as JSON")
+    add_sweep_options(tsweep)
+    tsweep.set_defaults(func=cmd_trace_sweep)
+
     convert = trace_sub.add_parser(
         "convert", help="re-encode a trace in another format")
     convert.add_argument("src", help="input trace (any format)")
@@ -702,6 +921,89 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--commands", type=int, default=1000)
     add_sweep_options(explore)
     explore.set_defaults(func=cmd_explore)
+
+    campaign = sub.add_parser(
+        "campaign", help="durable design-space campaigns: a leased "
+                         "work-queue any number of workers drain, a "
+                         "SQLite result store, and adaptive exploration")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    crun = campaign_sub.add_parser(
+        "run", help="run (or resume) an experiment as a campaign; "
+                    "interrupted runs pick up with zero recomputation")
+    crun.add_argument("dir", help="campaign directory (created if missing)")
+    crun.add_argument("--experiment", type=str, default="fig3",
+                      choices=["fig3", "fig4", "fig5", "adaptive"],
+                      help="which canonical experiment to campaign "
+                           "(adaptive = fast-fidelity screen + Pareto-band "
+                           "promotion on the fig3 grid)")
+    crun.add_argument("--commands", type=int, default=2000)
+    crun.add_argument("--configs", type=str, default="",
+                      help="comma-separated subset of C1..C10")
+    crun.add_argument("--workers", type=int, default=0,
+                      help="worker processes (0 = all cores)")
+    crun.add_argument("--budget", type=float, default=0.5,
+                      help="adaptive: max fraction of the grid promoted "
+                           "to cycle fidelity")
+    crun.add_argument("--name", type=str, default="",
+                      help="campaign id in the store (default: experiment)")
+    crun.add_argument("--timeout", type=float, default=0.0,
+                      help="per-point time budget in seconds (0 = none)")
+    crun.add_argument("--quiet", action="store_true",
+                      help="suppress per-point progress lines")
+    add_fidelity_option(crun)
+    crun.set_defaults(func=cmd_campaign_run)
+
+    cworker = campaign_sub.add_parser(
+        "worker", help="join an existing campaign as one extra worker "
+                       "(run any number, on any host sharing the dir)")
+    cworker.add_argument("dir", help="campaign directory")
+    cworker.add_argument("--ttl", type=float, default=60.0,
+                         help="lease time-to-live in seconds")
+    cworker.add_argument("--timeout", type=float, default=0.0,
+                         help="per-point time budget in seconds (0 = none)")
+    cworker.set_defaults(func=cmd_campaign_worker)
+
+    cstatus = campaign_sub.add_parser(
+        "status", help="point counts + live leases for a campaign dir")
+    cstatus.add_argument("dir", help="campaign directory")
+    cstatus.add_argument("--json", action="store_true")
+    cstatus.set_defaults(func=cmd_campaign_status)
+
+    cquery = campaign_sub.add_parser(
+        "query", help="rank points by any stored metric "
+                      "(dotted payload paths, e.g. latency_us.p99)")
+    cquery.add_argument("dir", help="campaign directory")
+    cquery.add_argument("--metric", type=str, default="ssd_cache_mbps")
+    cquery.add_argument("--where", action="append", default=[],
+                        metavar="CONSTRAINT",
+                        help='filter, e.g. "latency_us.p99<=2000" '
+                             "(repeatable)")
+    cquery.add_argument("--top", type=int, default=0,
+                        help="only the best N rows (0 = all)")
+    cquery.add_argument("--ascending", action="store_true",
+                        help="rank ascending (for latency-style metrics)")
+    cquery.add_argument("--campaign-id", type=str, default="",
+                        help="campaign id in the store (default: first)")
+    cquery.add_argument("--list-metrics", action="store_true",
+                        help="print the available metric names and exit")
+    cquery.add_argument("--json", action="store_true")
+    cquery.set_defaults(func=cmd_campaign_query)
+
+    creport = campaign_sub.add_parser(
+        "report", help="decision support: Pareto frontier, "
+                       "best-under-constraint, failure post-mortems")
+    creport.add_argument("dir", help="campaign directory")
+    creport.add_argument("--metric", type=str, default="ssd_cache_mbps")
+    creport.add_argument("--where", action="append", default=[],
+                         metavar="CONSTRAINT",
+                         help='constraint for "best", e.g. '
+                              '"latency_us.p99<=2000" (repeatable)')
+    creport.add_argument("--campaign-id", type=str, default="",
+                         help="campaign id in the store (default: first)")
+    creport.add_argument("--json", action="store_true")
+    creport.set_defaults(func=cmd_campaign_report)
 
     return parser
 

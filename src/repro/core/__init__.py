@@ -6,11 +6,17 @@ table and figure of the paper; validation, speed and features reproduce
 Fig. 2, Fig. 6 and Table I respectively.
 """
 
+from .adaptive import (AdaptiveOutcome, adaptive_breakdown_exploration,
+                       adaptive_fig3, calibrated_fast_fidelity,
+                       grid_coordinates, promote, propose_neighbors)
 from .calibrate import (DEFAULT_ERROR_BOUND, CalibrationResult, calibrate,
                         calibration_key, fast_architecture,
                         fidelity_error_report)
+from .campaign import (Campaign, CampaignError, CampaignRunner,
+                       CampaignStatus, Lease, LeaseQueue, run_worker)
 from .experiments import (FAULT_CAMPAIGN_FRACTIONS, TABLE2_LABELS,
-                          TABLE3_LABELS, faults_architecture,
+                          TABLE3_LABELS, breakdown_points,
+                          faults_architecture,
                           faults_campaign, fig3_profile, fig3_sweep,
                           fig3_workload, fig4_sweep, fig5_architecture,
                           fig5_profile, fig5_wearout_sweep, profile_point,
@@ -24,12 +30,15 @@ from .kernelbench import (interface_speed, kernel_microbench,
 from .features import (CAPABILITY_CHECKS, FEATURE_MATRIX, PLATFORMS,
                        SIMULATION_SPEED, render_table,
                        verify_ssdexplorer_column)
+from .pareto import (ParetoEntry, entry_best, entry_cheapest_within,
+                     entry_frontier, frontier_value_at, pareto_frontier)
 from .report import (render_breakdown_table, render_json,
                      render_series_table, render_speed_table,
                      render_validation_table)
 from .sensitivity import (SensitivityCurve, SensitivityPoint,
                           bottleneck_report, render_sensitivity_table,
                           sweep_parameter)
+from .store import (ResultStore, flatten_metrics, parse_constraint)
 from .sweep import (CODE_VERSION, PointFailure, PointOutcome, PointTimeout,
                     SweepCache, SweepPoint, SweepResult, SweepRunner,
                     SweepSummary, fingerprint, print_progress)
@@ -41,6 +50,13 @@ from .validation import (PAPER_ERROR_MARGINS, REFERENCE_MBPS,
                          ValidationPoint, run_validation)
 
 __all__ = [
+    "AdaptiveOutcome", "Campaign", "CampaignError", "CampaignRunner",
+    "CampaignStatus", "Lease", "LeaseQueue", "ParetoEntry", "ResultStore",
+    "adaptive_breakdown_exploration", "adaptive_fig3", "breakdown_points",
+    "calibrated_fast_fidelity", "entry_best", "entry_cheapest_within",
+    "entry_frontier", "flatten_metrics", "frontier_value_at",
+    "grid_coordinates", "pareto_frontier", "parse_constraint", "promote",
+    "propose_neighbors", "run_worker",
     "CAPABILITY_CHECKS", "CODE_VERSION", "CalibrationResult",
     "DEFAULT_ERROR_BOUND", "calibrate", "calibration_key",
     "fast_architecture", "fidelity_error_report", "DesignPoint",

@@ -74,18 +74,26 @@ def fig3_workload(n_commands: int = 2000) -> Workload:
     return sequential_write(4096 * n_commands)
 
 
+def breakdown_points(base: SsdArchitecture, n_commands: int,
+                     configs: Optional[List[str]] = None,
+                     prefix: str = "") -> List[SweepPoint]:
+    """Table II study as sweep points (shared by figs, campaigns and the
+    adaptive search, which prefixes its fast-tier screen ``fast/``)."""
+    workload = fig3_workload(n_commands)
+    selected = configs or list(TABLE2_LABELS)
+    return [SweepPoint(name=f"{prefix}{name}", arch=arch,
+                       workload=workload)
+            for name, arch in table2_configs(base).items()
+            if name in selected]
+
+
 def _breakdown_sweep(base: SsdArchitecture, n_commands: int,
                      configs: Optional[List[str]],
                      runner: Optional[SweepRunner]
                      ) -> Dict[str, BreakdownRow]:
     """Fan a Table II study out through the sweep engine."""
-    workload = fig3_workload(n_commands)
-    selected = configs or list(TABLE2_LABELS)
-    items = [(name, arch) for name, arch in table2_configs(base).items()
-             if name in selected]
     runner = runner or SweepRunner(workers=1)
-    result = runner.run([SweepPoint(name=name, arch=arch, workload=workload)
-                         for name, arch in items])
+    result = runner.run(breakdown_points(base, n_commands, configs))
     return {outcome.name: BreakdownRow.from_dict(outcome.payload)
             for outcome in result.outcomes if not outcome.failed}
 

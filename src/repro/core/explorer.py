@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..host.workload import Workload
 from ..ssd.architecture import SsdArchitecture
 from ..ssd.scenarios import BreakdownRow
+from . import pareto
 from .sweep import SweepPoint, SweepRunner
 
 
@@ -63,6 +64,18 @@ class DesignPoint:
     measured_mbps: float = 0.0
 
 
+def _cost(point: "DesignPoint") -> float:
+    return point.cost
+
+
+def _measured(point: "DesignPoint") -> float:
+    return point.measured_mbps
+
+
+def _name(point: "DesignPoint") -> str:
+    return point.name
+
+
 @dataclass
 class ExplorationResult:
     """Outcome of a sweep."""
@@ -90,8 +103,7 @@ class ExplorationResult:
         """Highest-throughput point (for when nothing meets the target)."""
         if not self.points:
             raise ValueError("no points evaluated")
-        return min(self.points,
-                   key=lambda p: (-p.measured_mbps, p.cost, p.name))
+        return pareto.best_item(self.points, _cost, _measured, _name)
 
     def cheapest_within(self, fraction: float = 0.95) -> DesignPoint:
         """Cheapest point whose throughput is within ``fraction`` of the
@@ -99,9 +111,8 @@ class ExplorationResult:
         unreachable and all candidates flatten (paper: C1)."""
         if not self.points:
             raise ValueError("no points evaluated")
-        best = max(p.measured_mbps for p in self.points)
-        near = [p for p in self.points if p.measured_mbps >= fraction * best]
-        return min(near, key=lambda p: (p.cost, p.name))
+        return pareto.cheapest_within(self.points, _cost, _measured, _name,
+                                      fraction)
 
     def pareto_frontier(self) -> List[DesignPoint]:
         """Non-dominated points in the (cost down, throughput up) plane.
@@ -109,19 +120,11 @@ class ExplorationResult:
         A point is dominated if another point is at least as cheap *and*
         at least as fast (strictly better in one dimension).  Returned
         sorted by ascending cost — the curve a designer trades along when
-        no single target is fixed.
+        no single target is fixed.  Shares its kernel (and the name
+        tie-break convention) with the result store and the adaptive
+        promoter via :mod:`repro.core.pareto`.
         """
-        frontier: List[DesignPoint] = []
-        for candidate in sorted(self.points,
-                                key=lambda p: (p.cost, -p.measured_mbps,
-                                               p.name)):
-            if not frontier:
-                frontier.append(candidate)
-                continue
-            best_so_far = frontier[-1]
-            if candidate.measured_mbps > best_so_far.measured_mbps:
-                frontier.append(candidate)
-        return frontier
+        return pareto.pareto_frontier(self.points, _cost, _measured, _name)
 
 
 def generate_design_space(channels: Sequence[int] = (2, 4, 8, 16),

@@ -1,0 +1,113 @@
+"""Pareto kernels shared by the explorer, the result store and the
+adaptive campaign search.
+
+Every selection here follows one convention, locked down by
+``tests/core/test_pareto_properties.py``: ties break by *name*, so the
+answer is invariant under permutation of the input — the property that
+makes parallel sweeps and multi-worker campaigns (whose completion order
+is nondeterministic) safe to rank.
+
+The kernels are generic over item type via ``cost``/``value``/``name``
+key functions; :class:`ParetoEntry` is the plain (name, cost, value)
+triple the SQLite store and the adaptive promoter trade in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Key = Callable[["Item"], float]
+Name = Callable[["Item"], str]
+
+
+@dataclass(frozen=True)
+class ParetoEntry:
+    """One ranked point: minimize ``cost``, maximize ``value``."""
+
+    name: str
+    cost: float
+    value: float
+
+
+def _entry_cost(entry: ParetoEntry) -> float:
+    return entry.cost
+
+
+def _entry_value(entry: ParetoEntry) -> float:
+    return entry.value
+
+
+def _entry_name(entry: ParetoEntry) -> str:
+    return entry.name
+
+
+def pareto_frontier(items: Iterable[Item], cost: Key, value: Key,
+                    name: Name) -> List[Item]:
+    """Non-dominated items in the (cost down, value up) plane.
+
+    An item is dominated if another is at least as cheap *and* at least
+    as valuable (strictly better in one dimension).  Returned sorted by
+    ascending cost with strictly increasing value — the curve a designer
+    trades along when no single target is fixed.
+    """
+    frontier: List[Item] = []
+    for item in sorted(items, key=lambda it: (cost(it), -value(it),
+                                              name(it))):
+        if not frontier or value(item) > value(frontier[-1]):
+            frontier.append(item)
+    return frontier
+
+
+def cheapest_within(items: Sequence[Item], cost: Key, value: Key,
+                    name: Name, fraction: float) -> Item:
+    """Cheapest item whose value is within ``fraction`` of the best."""
+    if not items:
+        raise ValueError("no items to rank")
+    best = max(value(item) for item in items)
+    near = [item for item in items if value(item) >= fraction * best]
+    return min(near, key=lambda it: (cost(it), name(it)))
+
+
+def best_item(items: Sequence[Item], cost: Key, value: Key,
+              name: Name) -> Item:
+    """Highest-value item; ties break by (cost, name)."""
+    if not items:
+        raise ValueError("no items to rank")
+    return min(items, key=lambda it: (-value(it), cost(it), name(it)))
+
+
+# ----------------------------------------------------------------------
+# ParetoEntry conveniences (the store / promoter work on entries)
+
+
+def entry_frontier(entries: Iterable[ParetoEntry]) -> List[ParetoEntry]:
+    return pareto_frontier(entries, _entry_cost, _entry_value, _entry_name)
+
+
+def entry_cheapest_within(entries: Sequence[ParetoEntry],
+                          fraction: float) -> ParetoEntry:
+    return cheapest_within(entries, _entry_cost, _entry_value, _entry_name,
+                           fraction)
+
+
+def entry_best(entries: Sequence[ParetoEntry]) -> ParetoEntry:
+    return best_item(entries, _entry_cost, _entry_value, _entry_name)
+
+
+def frontier_value_at(frontier: Sequence[ParetoEntry],
+                      budget: float) -> Optional[float]:
+    """Best frontier value achievable at cost <= ``budget``.
+
+    ``frontier`` must come from :func:`entry_frontier` (ascending cost,
+    ascending value), so the answer is the value of the most expensive
+    frontier entry still within budget; ``None`` if even the cheapest
+    frontier entry exceeds it.
+    """
+    best: Optional[float] = None
+    for entry in frontier:
+        if entry.cost > budget:
+            break
+        best = entry.value
+    return best

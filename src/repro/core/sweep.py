@@ -327,7 +327,13 @@ class PointOutcome:
 
 @dataclass
 class SweepSummary:
-    """Aggregate accounting for one :meth:`SweepRunner.run` call."""
+    """Aggregate accounting for one :meth:`SweepRunner.run` call.
+
+    The three point counts are disjoint — ``total == cached + simulated
+    + failed`` — so a resumed campaign over a warm cache reports its
+    served points as ``cached``, never ``simulated``, and a fresh
+    failure is ``failed``, not ``simulated``.
+    """
 
     total: int
     cached: int
@@ -485,7 +491,10 @@ class SweepRunner:
                 self._run_pool(points, keys, pending, workers, finish)
 
         wall = time.perf_counter() - started
-        simulated = [o for o in outcomes if o is not None and not o.cached]
+        # Disjoint accounting: a fresh point that failed is "failed", not
+        # "simulated", and cached + simulated + failed == total.
+        simulated = [o for o in outcomes
+                     if o is not None and not o.cached and not o.failed]
         summary = SweepSummary(
             total=len(points),
             cached=len(points) - len(pending),

@@ -1,0 +1,171 @@
+"""Property tests for the successive-halving promoter and the
+Pareto-guided proposer.
+
+Same hand-rolled seeded-generator idiom as
+``tests/core/test_pareto_properties.py`` (each trial reproducible with
+``random.Random(seed)``; the seed rides in every assertion message).
+
+Promoter invariants (the ISSUE's acceptance properties):
+
+* the promoted set always contains the true fast-tier Pareto frontier;
+* the promotion fraction respects the configured budget
+  (``len(promoted) <= max(len(frontier), ceil(budget * n))``);
+* promotion is invariant under permutation of the screened entries.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (ParetoEntry, entry_frontier, grid_coordinates,
+                        promote, propose_neighbors)
+from repro.core.experiments import table2_configs
+
+N_TRIALS = 40
+
+
+def random_entries(rng):
+    """1..24 screened points; small value/cost grids force ties."""
+    n = rng.randint(1, 24)
+    return [ParetoEntry(name=f"p{i}",
+                        cost=float(rng.choice([10, 20, 20, 30, 40, 55])),
+                        value=float(rng.choice([25.0, 50.0, 50.0, 75.0,
+                                                100.0, 110.0])))
+            for i in range(n)]
+
+
+def random_budget(rng):
+    return rng.choice([0.1, 0.25, 0.5, 0.5, 0.75, 1.0])
+
+
+class TestPromoterProperties:
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_frontier_always_promoted(self, seed):
+        rng = random.Random(seed)
+        entries = random_entries(rng)
+        budget = random_budget(rng)
+        promoted = {entry.name for entry in promote(entries, budget)}
+        for entry in entry_frontier(entries):
+            assert entry.name in promoted, \
+                (f"seed={seed} budget={budget}: frontier point "
+                 f"{entry.name} (cost {entry.cost}, value {entry.value}) "
+                 f"was not promoted")
+
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_budget_respected(self, seed):
+        rng = random.Random(seed)
+        entries = random_entries(rng)
+        budget = random_budget(rng)
+        promoted = promote(entries, budget)
+        quota = max(len(entry_frontier(entries)),
+                    math.ceil(budget * len(entries)))
+        assert len(promoted) <= quota, \
+            (f"seed={seed} budget={budget}: promoted {len(promoted)} "
+             f"of {len(entries)} (quota {quota})")
+        # No duplicates, and everything promoted was actually screened.
+        names = [entry.name for entry in promoted]
+        assert len(names) == len(set(names)), f"seed={seed}"
+        screened = {entry.name for entry in entries}
+        assert set(names) <= screened, f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_permutation_invariance(self, seed):
+        rng = random.Random(seed)
+        entries = random_entries(rng)
+        budget = random_budget(rng)
+        baseline = promote(entries, budget)
+        for trial in range(3):
+            shuffled = list(entries)
+            rng.shuffle(shuffled)
+            assert promote(shuffled, budget) == baseline, \
+                f"seed={seed} shuffle={trial} budget={budget}"
+
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_full_budget_promotes_everything(self, seed):
+        entries = random_entries(random.Random(seed))
+        promoted = promote(entries, 1.0)
+        assert {entry.name for entry in promoted} \
+            == {entry.name for entry in entries}, f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", range(N_TRIALS))
+    def test_tiny_budget_degenerates_to_frontier_band(self, seed):
+        """With a near-zero budget the quota floor keeps exactly the
+        frontier (plus value-ties ranked ahead of worse points)."""
+        entries = random_entries(random.Random(seed))
+        promoted = promote(entries, 1e-9)
+        frontier = entry_frontier(entries)
+        assert len(promoted) == len(frontier), \
+            (f"seed={seed}: quota floor should pin the promotion size to "
+             f"the frontier size")
+        assert {entry.name for entry in frontier} \
+            <= {entry.name for entry in promoted} | \
+            {entry.name for entry in frontier}
+
+    def test_rejects_bad_budget(self):
+        entries = [ParetoEntry(name="a", cost=1.0, value=1.0)]
+        for budget in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                promote(entries, budget)
+        assert promote([], 0.5) == []
+
+    def test_defect_ordering_prefers_near_frontier(self):
+        """Between two dominated points at the same cost, the one closer
+        to the frontier value is promoted first."""
+        entries = [
+            ParetoEntry(name="front", cost=10.0, value=100.0),
+            ParetoEntry(name="near", cost=20.0, value=95.0),
+            ParetoEntry(name="far", cost=20.0, value=10.0),
+            ParetoEntry(name="mid", cost=20.0, value=50.0),
+        ]
+        promoted = promote(entries, budget_fraction=0.5)
+        assert [entry.name for entry in promoted] == ["front", "near"]
+
+
+class TestProposer:
+    def grid(self):
+        """A 3x3 grid of (channels, ways) with dies fixed."""
+        return {f"g{c}{w}": (float(c), float(w), 1.0)
+                for c in (2, 4, 8) for w in (1, 2, 4)}
+
+    def test_neighbors_differ_in_exactly_one_axis(self):
+        coordinates = self.grid()
+        proposals = propose_neighbors(coordinates, ["g42"])
+        assert proposals  # the grid interior has neighbors
+        origin = coordinates["g42"]
+        for name in proposals:
+            deltas = [a != b for a, b in zip(coordinates[name], origin)]
+            assert sum(deltas) == 1, f"{name} differs in {sum(deltas)} axes"
+
+    def test_excludes_evaluated_and_respects_limit(self):
+        coordinates = self.grid()
+        everything = propose_neighbors(coordinates, ["g42"])
+        trimmed = propose_neighbors(coordinates, ["g42"],
+                                    evaluated=everything[:2])
+        assert everything[0] not in trimmed
+        assert everything[1] not in trimmed
+        capped = propose_neighbors(coordinates, ["g42"], limit=2)
+        assert capped == everything[:2]
+
+    def test_deterministic_under_dict_order(self):
+        coordinates = self.grid()
+        reversed_coords = dict(reversed(list(coordinates.items())))
+        assert propose_neighbors(coordinates, ["g21", "g84"]) \
+            == propose_neighbors(reversed_coords, ["g84", "g21"])
+
+    def test_corner_point_clips_to_grid(self):
+        proposals = propose_neighbors(self.grid(), ["g21"])
+        # g21 is the (min, min) corner: only the two inward neighbors.
+        assert sorted(proposals) == ["g22", "g41"]
+
+    def test_table2_coordinates(self):
+        coordinates = grid_coordinates(table2_configs())
+        assert coordinates["C1"] == (4.0, 4.0, 2.0)
+        assert coordinates["C6"] == (16.0, 8.0, 4.0)
+        # C7 = 16-CHN;4-WAY;2-DIE and C6 = 16-CHN;8-WAY;4-DIE differ in
+        # two axes, so C7 is NOT proposed from C6 alone...
+        assert "C7" not in propose_neighbors(coordinates, ["C6"],
+                                             evaluated=["C6"])
+        # ...but C4 (8-CHN;8-WAY;4-DIE) is C6's channel-axis neighbor.
+        assert "C4" in propose_neighbors(coordinates, ["C6"],
+                                         evaluated=["C6"])

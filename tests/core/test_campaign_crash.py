@@ -1,0 +1,204 @@
+"""Crash/resume determinism: the campaign engine's acceptance tier.
+
+A worker SIGKILLed mid-point must lose nothing: its published points are
+never recomputed, its in-flight point is re-queued (exactly once) and
+re-run, and the resumed campaign's final payloads are byte-identical to
+an uninterrupted serial :class:`SweepRunner` run of the same grid —
+whatever the worker count or process topology.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import (Campaign, CampaignRunner, SweepPoint, SweepRunner,
+                        run_worker)
+from repro.core import sweep as sweep_module
+from repro.host import sequential_write
+from repro.nand import NandGeometry
+from repro.ssd import SsdArchitecture
+
+SMALL_GEO = NandGeometry(planes_per_die=1, blocks_per_plane=64,
+                         pages_per_block=32)
+N_COMMANDS = 60
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable")
+
+
+def tiny_arch(**overrides):
+    base = dict(n_channels=2, n_ddr_buffers=2, n_ways=2, dies_per_way=2,
+                geometry=SMALL_GEO, dram_refresh=False)
+    base.update(overrides)
+    return SsdArchitecture(**base)
+
+
+def _eval_probe(point):
+    """Instrumented evaluator for crash choreography.
+
+    Appends one line to ``<log>/<name>.count`` per *execution attempt*
+    (the zero-recomputation ledger), then — if the point is a blocker —
+    parks until ``<log>/go`` exists so the parent can SIGKILL the worker
+    at a known instant.
+    """
+    log = point.params["log"]
+    with open(os.path.join(log, f"{point.name}.count"), "a",
+              encoding="utf-8") as handle:
+        handle.write(f"{os.getpid()}\n")
+    if point.params.get("block"):
+        deadline = time.time() + 30.0
+        while not os.path.exists(os.path.join(log, "go")):
+            if time.time() > deadline:
+                raise RuntimeError("probe blocker: no go signal")
+            time.sleep(0.02)
+    return {"probe": point.name, "value": float(point.params["value"])}, 1
+
+
+sweep_module.EVALUATORS.setdefault("test_probe", _eval_probe)
+
+
+def probe_points(log, blocker="blocker"):
+    """Three quick points around one blocker, in worker claim order."""
+    workload = sequential_write(4096 * 10)
+    specs = [("fast1", False), ("fast2", False), (blocker, True),
+             ("fast3", False)]
+    return [SweepPoint(name=name, arch=tiny_arch(), workload=workload,
+                       evaluator="test_probe",
+                       params={"log": log, "value": float(i),
+                               "block": block})
+            for i, (name, block) in enumerate(specs)]
+
+
+def execution_counts(log, names):
+    counts = {}
+    for name in names:
+        try:
+            with open(os.path.join(log, f"{name}.count"),
+                      encoding="utf-8") as handle:
+                counts[name] = len(handle.readlines())
+        except OSError:
+            counts[name] = 0
+    return counts
+
+
+@fork_only
+class TestKillNineResume:
+    def test_sigkill_loses_nothing_and_recomputes_nothing(self, tmp_path):
+        log = str(tmp_path / "log")
+        os.makedirs(log)
+        directory = str(tmp_path / "camp")
+        points = probe_points(log)
+        Campaign.ensure(directory, points, name="crash")
+
+        context = multiprocessing.get_context("fork")
+        worker = context.Process(target=run_worker, args=(directory,),
+                                 kwargs={"points": points})
+        worker.start()
+        try:
+            # Wait for the worker to publish the two fast points and
+            # park inside the blocker, then kill -9 it mid-point.
+            deadline = time.time() + 30.0
+            marker = os.path.join(log, "blocker.count")
+            while not os.path.exists(marker):
+                assert time.time() < deadline, "worker never reached the " \
+                    "blocker"
+                assert worker.is_alive(), "worker died prematurely"
+                time.sleep(0.02)
+            os.kill(worker.pid, signal.SIGKILL)
+        finally:
+            worker.join(timeout=10.0)
+
+        campaign = Campaign.open(directory)
+        status = campaign.status()
+        # The two published points survived; nothing was double-published
+        # or lost; the in-flight blocker left an orphaned lease.
+        assert status.published == 2
+        assert status.failed == 0
+        assert sorted(os.listdir(campaign.queue_dir)) \
+            == [f"{fingerprint_of(points[2])}.lease"]
+
+        # Resume: unblock the blocker and drain in-process.
+        with open(os.path.join(log, "go"), "w", encoding="utf-8"):
+            pass
+        runner = CampaignRunner(directory, workers=1, name="crash")
+        result = runner.run(points)
+
+        # Zero recomputation of published points: the fast points ran
+        # exactly once ever; only the killed-in-flight blocker ran twice.
+        counts = execution_counts(log, [p.name for p in points])
+        assert counts == {"fast1": 1, "fast2": 1, "blocker": 2,
+                          "fast3": 1}
+        # Resume accounting: the survivors are cached, not "simulated".
+        assert (result.summary.cached, result.summary.simulated,
+                result.summary.failed) == (2, 2, 0)
+        assert result.payloads() == {
+            "fast1": {"probe": "fast1", "value": 0.0},
+            "fast2": {"probe": "fast2", "value": 1.0},
+            "blocker": {"probe": "blocker", "value": 2.0},
+            "fast3": {"probe": "fast3", "value": 3.0},
+        }
+        # The orphaned lease was reclaimed; the queue drained clean.
+        assert os.listdir(campaign.queue_dir) == []
+
+
+def fingerprint_of(point):
+    from repro.core import fingerprint
+    return fingerprint(point)
+
+
+def breakdown_grid():
+    """A 3-point real-simulation grid (cycle-accurate, tier-1 sized)."""
+    workload = sequential_write(4096 * N_COMMANDS)
+    return [SweepPoint(name=f"P{n}", arch=tiny_arch(n_channels=n,
+                                                    n_ddr_buffers=n),
+                       workload=workload,
+                       params={"max_commands": N_COMMANDS})
+            for n in (1, 2, 4)]
+
+
+def payload_blob(result):
+    return json.dumps([outcome.payload for outcome in result.outcomes],
+                      sort_keys=True)
+
+
+class TestCampaignSerialIdentity:
+    """Final result sets are byte-identical across process topologies."""
+
+    def test_workers1_vs_4_vs_serial_sweeprunner(self, tmp_path):
+        serial = SweepRunner(workers=1).run(breakdown_grid())
+        one = CampaignRunner(str(tmp_path / "w1"), workers=1) \
+            .run(breakdown_grid())
+        four = CampaignRunner(str(tmp_path / "w4"), workers=4) \
+            .run(breakdown_grid())
+        assert payload_blob(serial) == payload_blob(one) \
+            == payload_blob(four)
+        # Envelope bytes on disk agree between the two campaigns too.
+        for name in ("w1", "w4"):
+            campaign = Campaign.open(str(tmp_path / name))
+            assert campaign.status().published == 3
+
+    @fork_only
+    def test_external_workers_match_serial(self, tmp_path):
+        """Independent `repro campaign worker`-style processes draining
+        a shared directory publish the same bytes as a serial run."""
+        directory = str(tmp_path / "shared")
+        points = breakdown_grid()
+        Campaign.ensure(directory, points, name="shared")
+        context = multiprocessing.get_context("fork")
+        workers = [context.Process(target=run_worker, args=(directory,))
+                   for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120.0)
+            assert worker.exitcode == 0
+        collected = CampaignRunner(directory, workers=1,
+                                   name="shared").run(points)
+        assert collected.summary.cached == 3  # workers did everything
+        serial = SweepRunner(workers=1).run(breakdown_grid())
+        assert payload_blob(serial) == payload_blob(collected)

@@ -1,0 +1,241 @@
+"""SQLite result store: schema round-trip, WAL concurrency, query parity.
+
+The store is the queryable index over campaign envelopes; these tests
+pin the payload round-trip (including reliability and trace-profile
+metrics), ``json_safe`` compliance of everything written, idempotent
+re-publishing, concurrent-writer safety under WAL, and that its
+decision-support queries agree exactly with the in-memory Pareto
+kernels they share.
+"""
+
+import json
+import math
+import multiprocessing
+
+import pytest
+
+from repro.core import (ParetoEntry, ResultStore, entry_best,
+                        entry_cheapest_within, entry_frontier,
+                        flatten_metrics, parse_constraint)
+from repro.ssd.metrics import json_safe
+
+#: A RunResult-shaped payload: nested latency, reliability (fault tier)
+#: and trace-profile metrics, plus values json_safe must sanitize.
+MEASURE_PAYLOAD = {
+    "sustained_mbps": 123.5,
+    "iops": 31616.0,
+    "latency_us": {"mean": 210.0, "p50": 180.0, "p95": 410.0,
+                   "p99": 660.0},
+    "utilizations": {"channel": 0.82, "die": 0.37},
+    "reliability": {"read_retries": 12, "uncorrectable_reads": 1,
+                    "uber": 2.4e-11, "retired_blocks": 0},
+    "trace_profile": {"records": 4000, "read_fraction": 0.62,
+                      "footprint_mib": 96.0},
+    "stage_breakdown": {"queue": 0.4, "flash_drain": 0.5},
+    "warm_start": True,
+    "label": "C1/SW",           # strings are payload, not metrics
+    "series": [1.0, 2.0],       # lists are payload, not metrics
+    "broken_mean": float("inf"),  # json_safe -> None, metric dropped
+}
+
+
+def store_with_campaign(tmp_path, name="t"):
+    store = ResultStore(str(tmp_path / "s.sqlite"))
+    store.record_campaign(name, "sweep-4", 4)
+    return store
+
+
+def envelope(payload, failure=None, evaluator="measure"):
+    return {"evaluator": evaluator, "payload": payload, "events": 7,
+            "elapsed_s": 0.25, "failure": failure}
+
+
+class TestFlattenMetrics:
+    def test_dotted_paths_for_nested_numerics(self):
+        flat = flatten_metrics(MEASURE_PAYLOAD)
+        assert flat["latency_us.p95"] == 410.0
+        assert flat["reliability.uber"] == 2.4e-11
+        assert flat["trace_profile.read_fraction"] == 0.62
+        assert flat["stage_breakdown.flash_drain"] == 0.5
+
+    def test_bools_become_zero_one(self):
+        assert flatten_metrics(MEASURE_PAYLOAD)["warm_start"] == 1.0
+
+    def test_strings_lists_and_nonfinite_skipped(self):
+        flat = flatten_metrics(MEASURE_PAYLOAD)
+        assert "label" not in flat
+        assert "series" not in flat
+        assert "broken_mean" not in flat
+        assert "nan" not in json.dumps(flatten_metrics(
+            {"x": float("nan")})).lower()
+
+
+class TestParseConstraint:
+    @pytest.mark.parametrize("text,expected", [
+        ("latency_us.p99<=2000", ("latency_us.p99", "<=", 2000.0)),
+        ("uber < 1e-10", ("uber", "<", 1e-10)),
+        ("sustained_mbps>=100", ("sustained_mbps", ">=", 100.0)),
+        ("warm_start==1", ("warm_start", "==", 1.0)),
+    ])
+    def test_accepted(self, text, expected):
+        assert parse_constraint(text) == expected
+
+    @pytest.mark.parametrize("text", ["nonsense", "a<=b", "x=1"])
+    def test_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_constraint(text)
+
+
+class TestRoundTrip:
+    def test_payload_round_trips_json_safe(self, tmp_path):
+        with store_with_campaign(tmp_path) as store:
+            store.record_point("t", "C1", envelope(MEASURE_PAYLOAD),
+                               key="k1", cost=256.0)
+            stored = store.payloads("t")["C1"]
+        # Byte-for-byte the json_safe image of the original payload —
+        # the infinity is null, everything else untouched.
+        assert stored == json.loads(json.dumps(json_safe(MEASURE_PAYLOAD)))
+        assert stored["broken_mean"] is None
+        assert stored["reliability"]["uber"] == 2.4e-11
+
+    def test_point_row_and_metrics(self, tmp_path):
+        with store_with_campaign(tmp_path) as store:
+            store.record_point("t", "C1", envelope(MEASURE_PAYLOAD),
+                               key="k1", cost=256.0)
+            (row,) = store.points("t")
+            assert (row["status"], row["key"], row["cost"],
+                    row["evaluator"], row["events"]) \
+                == ("ok", "k1", 256.0, "measure", 7)
+            metrics = store.metrics("t")["C1"]
+            assert metrics == flatten_metrics(json_safe(MEASURE_PAYLOAD))
+
+    def test_failure_post_mortem(self, tmp_path):
+        failure = {"error_type": "ValueError", "message": "bogus mode",
+                   "traceback": "Traceback ..."}
+        with store_with_campaign(tmp_path) as store:
+            store.record_point("t", "bad", envelope({}, failure=failure))
+            assert store.status_counts("t") == {"ok": 0, "failed": 1}
+            (post,) = store.failures("t")
+            assert post["error_type"] == "ValueError"
+            assert post["message"] == "bogus mode"
+            assert store.payloads("t") == {}  # failed excluded by default
+
+    def test_republish_is_idempotent(self, tmp_path):
+        failure = {"error_type": "ValueError", "message": "first try"}
+        with store_with_campaign(tmp_path) as store:
+            store.record_point("t", "C1", envelope({}, failure=failure))
+            # The re-run succeeds: row flips to ok, post-mortem cleared.
+            store.record_point("t", "C1", envelope(MEASURE_PAYLOAD),
+                               key="k1", cost=256.0)
+            store.record_point("t", "C1", envelope(MEASURE_PAYLOAD),
+                               key="k1", cost=256.0)
+            assert store.status_counts("t") == {"ok": 1, "failed": 0}
+            assert store.failures("t") == []
+            assert len(store.points("t")) == 1
+
+    def test_campaign_row(self, tmp_path):
+        with store_with_campaign(tmp_path) as store:
+            (row,) = store.campaigns()
+            assert (row["campaign_id"], row["salt"], row["total_points"]) \
+                == ("t", "sweep-4", 4)
+
+
+def _record_worker(path, name, value):
+    with ResultStore(path) as store:
+        store.record_point("t", name, envelope({"value": value}))
+
+
+class TestConcurrentWriters:
+    def test_forked_writers_all_land(self, tmp_path):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            store.record_campaign("t", "sweep-4", 8)
+        context = multiprocessing.get_context("fork")
+        workers = [context.Process(target=_record_worker,
+                                   args=(path, f"p{i}", float(i)))
+                   for i in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60.0)
+            assert worker.exitcode == 0
+        with ResultStore(path) as store:
+            metrics = store.metrics("t")
+            assert {name: values["value"] for name, values
+                    in metrics.items()} \
+                == {f"p{i}": float(i) for i in range(8)}
+
+
+GRID = [
+    # name, cost, ssd_cache_mbps, p99
+    ("C1", 256.0, 58.3, 900.0),
+    ("C2", 512.0, 95.4, 700.0),
+    ("C3", 640.0, 131.0, 600.0),
+    ("C4", 768.0, 190.5, 420.0),
+    ("C5", 1024.0, 190.5, 420.0),
+    ("C6", 1536.0, 228.1, 300.0),
+    ("C7", 1024.0, 171.0, 500.0),
+]
+
+
+def seeded_store(tmp_path):
+    store = ResultStore(str(tmp_path / "s.sqlite"))
+    store.record_campaign("t", "sweep-4", len(GRID))
+    for name, cost, mbps, p99 in GRID:
+        store.record_point("t", name, envelope(
+            {"ssd_cache_mbps": mbps, "latency_us": {"p99": p99}}),
+            key=f"k-{name}", cost=cost)
+    return store
+
+
+def in_memory_entries():
+    return [ParetoEntry(name=name, cost=cost, value=mbps)
+            for name, cost, mbps, _ in GRID]
+
+
+class TestQueryParity:
+    """SQL-backed rankings == the shared in-memory Pareto kernels."""
+
+    def test_pareto_frontier_matches_kernel(self, tmp_path):
+        with seeded_store(tmp_path) as store:
+            assert store.pareto_frontier("t", "ssd_cache_mbps") \
+                == entry_frontier(in_memory_entries())
+
+    def test_cheapest_within_matches_kernel(self, tmp_path):
+        with seeded_store(tmp_path) as store:
+            for fraction in (0.5, 0.8, 0.95, 1.0):
+                assert store.cheapest_within("t", "ssd_cache_mbps",
+                                             fraction) \
+                    == entry_cheapest_within(in_memory_entries(), fraction)
+
+    def test_best_under_constraint(self, tmp_path):
+        with seeded_store(tmp_path) as store:
+            best = store.best_under_constraint(
+                "t", "ssd_cache_mbps",
+                [parse_constraint("latency_us.p99>=400")])
+            # C6 (p99 300) is infeasible; C4 and C5 tie on value among
+            # the rest and the name tie-break picks C4.
+            assert best == ParetoEntry(name="C4", cost=768.0, value=190.5)
+            unconstrained = store.best_under_constraint("t",
+                                                        "ssd_cache_mbps")
+            assert unconstrained == entry_best(in_memory_entries())
+            assert store.best_under_constraint(
+                "t", "ssd_cache_mbps",
+                [parse_constraint("latency_us.p99<=1")]) is None
+
+    def test_query_ordering_and_where(self, tmp_path):
+        with seeded_store(tmp_path) as store:
+            rows = store.query("t", "ssd_cache_mbps", top=3)
+            assert rows == [("C6", 228.1), ("C4", 190.5), ("C5", 190.5)]
+            ascending = store.query("t", "latency_us.p99",
+                                    where=[("ssd_cache_mbps", ">=",
+                                            150.0)], ascending=True)
+            assert ascending == [("C6", 300.0), ("C4", 420.0),
+                                 ("C5", 420.0), ("C7", 500.0)]
+
+    def test_metric_names_enumerated(self, tmp_path):
+        with seeded_store(tmp_path) as store:
+            assert store.metric_names("t") == ["latency_us.p99",
+                                               "ssd_cache_mbps"]
