@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast bench sweep campaign faults profile trace fidelity \
-	golden golden-refresh
+	golden golden-refresh reliability reliability-bench
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -44,6 +44,26 @@ sweep:
 # REPRO_BENCH_COMMANDS (grid workload length), REPRO_ADAPTIVE_BUDGET.
 campaign:
 	$(PYTHON) benchmarks/bench_campaign.py
+
+# Reliability-campaign determinism check: the Monte-Carlo campaign must
+# produce byte-identical JSON across worker counts (fresh directories so
+# neither run serves the other's cache).
+reliability:
+	rm -rf /tmp/repro-rel-w1 /tmp/repro-rel-w4
+	$(PYTHON) -m repro reliability run /tmp/repro-rel-w1 --workers 1 \
+		--replicas 8 --fractions 1.0 --commands 48 --json --quiet \
+		> /tmp/repro-rel-a.json
+	$(PYTHON) -m repro reliability run /tmp/repro-rel-w4 --workers 4 \
+		--replicas 8 --fractions 1.0 --commands 48 --json --quiet \
+		> /tmp/repro-rel-b.json
+	cmp /tmp/repro-rel-a.json /tmp/repro-rel-b.json
+	@echo "reliability campaign deterministic across worker counts"
+
+# Reliability-campaign benchmark: serial vs multi-process replica
+# throughput + byte identity; refreshes BENCH_reliability.json.  Knobs:
+# REPRO_BENCH_COMMANDS, REPRO_BENCH_REPLICAS, REPRO_BENCH_WORKERS.
+reliability-bench:
+	$(PYTHON) benchmarks/bench_reliability.py
 
 # Trace-ingestion smoke: characterize, replay and format-convert the
 # bundled sample trace end to end through the CLI.

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Reliability-campaign benchmark: replica throughput + byte identity.
+
+Two measurements:
+
+1. **Replica throughput** — a Monte-Carlo reliability campaign on one
+   wear level (both workloads), serial vs multi-process campaign drain;
+   records replicas per second for each topology.
+2. **Byte identity** — the serial and multi-process campaigns must
+   serialize to identical ``ReliabilityOutcome`` documents (the
+   guarantee the test tier locks at a smaller scale), and
+   ``report_from_campaign`` over the drained directory must agree.
+
+Results land in ``BENCH_reliability.json``.
+
+Knobs: ``REPRO_BENCH_COMMANDS`` (commands per replica, default 60),
+``REPRO_BENCH_REPLICAS`` (replicas per cell, default 16),
+``REPRO_BENCH_WORKERS`` (parallel drain width, default 4).
+
+Usage::
+
+    make reliability-bench                        # or:
+    PYTHONPATH=src python benchmarks/bench_reliability.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import (CampaignRunner, ReliabilityGrid,  # noqa: E402
+                        SweepRunner, report_from_campaign,
+                        run_reliability_campaign)
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+OUT_PATH = os.path.join(ROOT, "BENCH_reliability.json")
+
+
+def outcome_blob(outcome) -> str:
+    return json.dumps(outcome.to_dict(), sort_keys=True)
+
+
+def run_topology(grid, replicas, runner, label) -> dict:
+    started = time.perf_counter()
+    outcome = run_reliability_campaign(grid=grid, runner=runner,
+                                       replicas=replicas)
+    wall = time.perf_counter() - started
+    total = sum(outcome.scheduled.values())
+    print(f"  {label:<18} {total} replicas in {wall:6.2f}s "
+          f"({total / wall:6.2f} replicas/s)")
+    return {"wall_seconds": round(wall, 3), "replicas": total,
+            "replicas_per_second": round(total / wall, 3),
+            "blob": outcome_blob(outcome)}
+
+
+def main() -> int:
+    n_commands = int(os.environ.get("REPRO_BENCH_COMMANDS", "60"))
+    replicas = int(os.environ.get("REPRO_BENCH_REPLICAS", "16"))
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+    grid = ReliabilityGrid(fractions=(1.0,), n_commands=n_commands)
+
+    print(f"reliability campaign: {len(grid.cells())} cells x {replicas} "
+          f"replicas x {n_commands} commands")
+    with tempfile.TemporaryDirectory(prefix="repro-reliability-") as tmp:
+        serial = run_topology(grid, replicas, SweepRunner(workers=1),
+                              "serial")
+        campaign_dir = os.path.join(tmp, "campaign")
+        parallel = run_topology(
+            grid, replicas, CampaignRunner(campaign_dir, workers=workers),
+            f"campaign x{workers}")
+        reported = report_from_campaign(campaign_dir)
+
+    if serial["blob"] != parallel["blob"]:
+        raise SystemExit("serial and multi-process reliability campaigns "
+                         "diverged — byte-identity guarantee broken")
+    serial_estimates = json.loads(serial.pop("blob"))["estimates"]
+    parallel.pop("blob")
+    report_estimates = {name: estimate.to_dict() for name, estimate
+                        in sorted(reported.estimates.items())}
+    if json.dumps(report_estimates, sort_keys=True) \
+            != json.dumps(serial_estimates, sort_keys=True):
+        raise SystemExit("report_from_campaign diverged from the run path")
+    print("  byte identity     serial == campaign == report")
+
+    report = {
+        "n_commands": n_commands,
+        "replicas_per_cell": replicas,
+        "cells": len(grid.cells()),
+        "serial": serial,
+        "parallel": parallel,
+        "parallel_workers": workers,
+        "byte_identical": True,
+        "estimates": serial_estimates,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

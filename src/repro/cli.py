@@ -228,6 +228,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
     print(header)
     print("-" * len(header))
     for name, row in rows.items():
+        if row.get("status") == "failed":
+            print(f"{name:<20} FAILED {row['error_type']}: "
+                  f"{row['message']}")
+            continue
         print(f"{name:<20} {row['sustained_mbps']:>7.1f} "
               f"{row['read_retries']:>8d} {row['retries_per_read']:>9.3f} "
               f"{row['uncorrectable_reads']:>7d} "
@@ -500,7 +504,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .core import generate_report
     configs = _parse_configs(args.configs) if args.configs else None
     text = generate_report(n_commands=args.commands, configs=configs,
-                           include_fig4=not args.skip_fig4)
+                           include_fig4=not args.skip_fig4,
+                           include_reliability=not args.skip_reliability,
+                           reliability_replicas=args.reliability_replicas)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -714,6 +720,65 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
     return 1 if counts.get("failed") else 0
 
 
+# ----------------------------------------------------------------------
+# repro reliability …
+
+
+def _reliability_grid(args: argparse.Namespace):
+    from .core import ReliabilityGrid
+    fractions = tuple(float(part) for part in args.fractions.split(",")
+                      if part) if args.fractions else None
+    spares = tuple(int(part) for part in args.spares.split(",")
+                   if part) if args.spares else None
+    kinds = tuple(part for part in args.kinds.split(",")
+                  if part) if args.kinds else None
+    grid = ReliabilityGrid()
+    return ReliabilityGrid(
+        fractions=fractions or grid.fractions,
+        spares=spares or grid.spares,
+        kinds=kinds or grid.kinds,
+        n_commands=args.commands,
+        campaign_seed=args.seed)
+
+
+def cmd_reliability_run(args: argparse.Namespace) -> int:
+    """Monte-Carlo reliability campaign with CI-driven stopping."""
+    from .core import CampaignRunner, run_reliability_campaign
+    runner = CampaignRunner(args.dir, workers=args.workers or None,
+                            name=args.name or "reliability",
+                            progress=None if (args.quiet or args.json)
+                            else print_progress,
+                            timeout_s=args.timeout or None)
+    outcome = run_reliability_campaign(
+        grid=_reliability_grid(args), runner=runner,
+        replicas=args.replicas, batch=args.batch or None,
+        target_half_width=args.target_half_width or None,
+        metric=args.metric)
+    if args.json:
+        print(render_json(outcome.to_dict()))
+    else:
+        print(outcome.format())
+        _print_summary(runner)
+    return 1 if outcome.failed_points else 0
+
+
+def cmd_reliability_report(args: argparse.Namespace) -> int:
+    """Re-aggregate a reliability campaign directory (no simulation)."""
+    from .core import CampaignError, report_from_campaign
+    try:
+        outcome = report_from_campaign(args.dir, metric=args.metric)
+    except CampaignError as error:
+        raise SystemExit(str(error))
+    if not outcome.estimates:
+        raise SystemExit(f"no published rel/ points in {args.dir!r} — "
+                         f"run 'repro reliability run' first")
+    if args.json:
+        print(render_json(outcome.to_dict()))
+    else:
+        print(outcome.format())
+    return 1 if outcome.failed_points else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -914,6 +979,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--configs", type=str, default="")
     report.add_argument("--out", type=str, default="")
     report.add_argument("--skip-fig4", action="store_true")
+    report.add_argument("--skip-reliability", action="store_true",
+                        help="skip the Monte-Carlo reliability section")
+    report.add_argument("--reliability-replicas", type=int, default=8,
+                        help="fault-trial replicas per reliability cell")
     report.set_defaults(func=cmd_report)
 
     explore = sub.add_parser("explore", help="design-space exploration")
@@ -1004,6 +1073,68 @@ def build_parser() -> argparse.ArgumentParser:
                          help="campaign id in the store (default: first)")
     creport.add_argument("--json", action="store_true")
     creport.set_defaults(func=cmd_campaign_report)
+
+    reliability = sub.add_parser(
+        "reliability", help="Monte-Carlo reliability campaigns: seeded "
+                            "fault-trial replicas on the campaign engine, "
+                            "Wilson-CI estimators, CI-driven stopping")
+    reliability_sub = reliability.add_subparsers(
+        dest="reliability_command", required=True)
+
+    rrun = reliability_sub.add_parser(
+        "run", help="expand the fig-faults grid into seeded replicas and "
+                    "estimate UBER / failed-command-rate with 95% CIs; "
+                    "resumable, byte-identical across worker counts")
+    rrun.add_argument("dir", help="campaign directory (created if missing)")
+    rrun.add_argument("--replicas", type=int, default=64,
+                      help="replica budget per cell")
+    rrun.add_argument("--batch", type=int, default=0,
+                      help="replicas scheduled per stopping-rule batch "
+                           "(0 = default 16; only with --target-half-width)")
+    rrun.add_argument("--target-half-width", type=float, default=0.0,
+                      help="stop a cell early once the 95%% CI half-width "
+                           "of --metric reaches this (0 = run the full "
+                           "budget)")
+    rrun.add_argument("--metric", type=str, default="failed_rate",
+                      choices=["failed_rate", "uber"],
+                      help="stopping-rule / frontier reliability metric")
+    rrun.add_argument("--fractions", type=str, default="",
+                      help="comma-separated wear levels "
+                           "(default 0.5,0.9,1.0)")
+    rrun.add_argument("--spares", type=str, default="",
+                      help="comma-separated spare-blocks-per-plane values "
+                           "(default 8)")
+    rrun.add_argument("--kinds", type=str, default="",
+                      help="comma-separated workload kinds "
+                           "(default write,read)")
+    rrun.add_argument("--commands", type=int, default=120,
+                      help="commands per replica")
+    rrun.add_argument("--seed", type=int, default=1234,
+                      help="campaign seed (replica seeds derive from it)")
+    rrun.add_argument("--workers", type=int, default=0,
+                      help="worker processes (0 = all cores)")
+    rrun.add_argument("--name", type=str, default="",
+                      help="campaign id in the store "
+                           "(default: reliability)")
+    rrun.add_argument("--timeout", type=float, default=0.0,
+                      help="per-point time budget in seconds (0 = none)")
+    rrun.add_argument("--quiet", action="store_true",
+                      help="suppress per-point progress lines")
+    rrun.add_argument("--json", action="store_true",
+                      help="deterministic estimator document (the bytes "
+                           "the reliability-smoke tier compares)")
+    rrun.set_defaults(func=cmd_reliability_run)
+
+    rreport = reliability_sub.add_parser(
+        "report", help="re-aggregate a reliability campaign dir: pooled "
+                       "estimates + perf-vs-reliability-vs-spares Pareto "
+                       "frontier, no simulation")
+    rreport.add_argument("dir", help="campaign directory")
+    rreport.add_argument("--metric", type=str, default="failed_rate",
+                         choices=["failed_rate", "uber"],
+                         help="frontier reliability metric")
+    rreport.add_argument("--json", action="store_true")
+    rreport.set_defaults(func=cmd_reliability_report)
 
     return parser
 

@@ -166,7 +166,7 @@ class ChannelWayController(Component):
         return self.sim.now - start
 
     def read_page(self, way: int, die_index: int, address: PageAddress,
-                  errors_present: bool = True, span=None):
+                  errors_present: bool = True, span=None, command=None):
         """Generator: full read path for one page; returns elapsed ps.
 
         With fault injection enabled the drawn bit errors are compared
@@ -181,6 +181,10 @@ class ChannelWayController(Component):
         is serial per page, so stage marks placed here decompose the
         command's latency into queue / bus_xfer / nand_busy / ecc_decode
         segments (retry rungs fold into the same stages).
+
+        ``command`` is the owning :class:`~repro.host.IoCommand` (``None``
+        for GC-internal reads): the ladder annotates it with masked-error
+        and retry counts for per-command outcome classification.
         """
         if self._fast:
             return (yield from self._read_page_fast(way, die_index, address,
@@ -249,6 +253,8 @@ class ChannelWayController(Component):
             if errors <= t:
                 if attempt:
                     self.stats.counter("read_retry_success").increment()
+                elif errors and command is not None:
+                    command.masked_page_reads += 1
                 break
             if attempt >= plan.config.read_retry_max:
                 self.stats.counter("uncorrectable_reads").increment()
@@ -259,6 +265,8 @@ class ChannelWayController(Component):
                     address=address, errors=errors, t=t, retries=attempt)
             attempt += 1
             self.stats.counter("read_retries").increment()
+            if command is not None:
+                command.read_retries += 1
         self.stats.counter("reads").increment()
         self.stats.meter("read_data").record(self.geometry.page_bytes)
         if trace_enabled():

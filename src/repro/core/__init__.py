@@ -31,7 +31,15 @@ from .features import (CAPABILITY_CHECKS, FEATURE_MATRIX, PLATFORMS,
                        SIMULATION_SPEED, render_table,
                        verify_ssdexplorer_column)
 from .pareto import (ParetoEntry, entry_best, entry_cheapest_within,
-                     entry_frontier, frontier_value_at, pareto_frontier)
+                     entry_frontier, frontier_value_at, multi_frontier,
+                     pareto_frontier)
+from .reliability import (REL_PREFIX, Z_95, ReliabilityCell,
+                          ReliabilityEstimate, ReliabilityGrid,
+                          ReliabilityOutcome, aggregate_estimates,
+                          reliability_frontier, replica_point,
+                          replica_points, replica_seed,
+                          report_from_campaign, run_reliability_campaign,
+                          wilson_interval)
 from .report import (render_breakdown_table, render_json,
                      render_series_table, render_speed_table,
                      render_validation_table)
@@ -55,8 +63,13 @@ __all__ = [
     "adaptive_breakdown_exploration", "adaptive_fig3", "breakdown_points",
     "calibrated_fast_fidelity", "entry_best", "entry_cheapest_within",
     "entry_frontier", "flatten_metrics", "frontier_value_at",
-    "grid_coordinates", "pareto_frontier", "parse_constraint", "promote",
-    "propose_neighbors", "run_worker",
+    "grid_coordinates", "multi_frontier", "pareto_frontier",
+    "parse_constraint", "promote", "propose_neighbors", "run_worker",
+    "REL_PREFIX", "Z_95", "ReliabilityCell", "ReliabilityEstimate",
+    "ReliabilityGrid", "ReliabilityOutcome", "aggregate_estimates",
+    "reliability_frontier", "replica_point", "replica_points",
+    "replica_seed", "report_from_campaign", "run_reliability_campaign",
+    "wilson_interval",
     "CAPABILITY_CHECKS", "CODE_VERSION", "CalibrationResult",
     "DEFAULT_ERROR_BOUND", "calibrate", "calibration_key",
     "fast_architecture", "fidelity_error_report", "DesignPoint",

@@ -277,9 +277,16 @@ def faults_campaign(n_commands: int = 300, seed: int = 1234,
                     ) -> Dict[str, Dict[str, object]]:
     """Seeded fault-injection campaign over wear levels and workloads.
 
-    Returns ``{label: {"sustained_mbps": ..., <reliability metrics>}}``
-    in deterministic label order — two runs with the same seed must
-    produce byte-identical rows whatever the worker count.
+    Returns ``{label: {"status": ..., "sustained_mbps": ...,
+    <reliability metrics>}}`` in deterministic label order — two runs
+    with the same seed must produce byte-identical rows whatever the
+    worker count.
+
+    Crashed points are reliability data, not noise: instead of being
+    silently dropped they appear with ``status="failed"``, the failure's
+    error type and message, and (when cached) the content key of the
+    post-mortem envelope — the handle for
+    ``repro.core.sweep.SweepCache`` forensics.
     """
     fractions = list(fractions if fractions is not None
                      else FAULT_CAMPAIGN_FRACTIONS)
@@ -301,8 +308,15 @@ def faults_campaign(n_commands: int = 300, seed: int = 1234,
     rows: Dict[str, Dict[str, object]] = {}
     for outcome in result.outcomes:
         if outcome.failed:
+            rows[outcome.name] = {
+                "status": "failed",
+                "error_type": outcome.failure.error_type,
+                "message": outcome.failure.message,
+                "post_mortem_key": outcome.key,
+            }
             continue
         row: Dict[str, object] = {
+            "status": "ok",
             "sustained_mbps": outcome.payload["sustained_mbps"]}
         row.update(outcome.payload.get("reliability", {}))
         rows[outcome.name] = row

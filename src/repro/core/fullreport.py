@@ -23,7 +23,9 @@ from .validation import run_validation
 def generate_report(n_commands: int = 800,
                     configs: Optional[List[str]] = None,
                     include_fig4: bool = True,
-                    include_profile: bool = True) -> str:
+                    include_profile: bool = True,
+                    include_reliability: bool = True,
+                    reliability_replicas: int = 8) -> str:
     """Run the evaluation and return the report as markdown text.
 
     ``n_commands`` scales every workload; the default trades some
@@ -31,6 +33,10 @@ def generate_report(n_commands: int = 800,
     restricts the Table II sweeps.  ``include_profile`` adds a span-
     observability section that re-runs one Fig. 3 point with the stage
     breakdown on, explaining the bar it contributes to.
+    ``include_reliability`` adds a small Monte-Carlo reliability
+    campaign (``reliability_replicas`` seeded fault trials per fig-faults
+    wear level) with Wilson-CI estimates and the
+    perf-vs-reliability-vs-spares frontier.
     """
     started = time.perf_counter()
     sections: List[str] = [
@@ -90,6 +96,15 @@ def generate_report(n_commands: int = 800,
                           n_commands=max(100, n_commands // 4))
     sections += ["## Fig. 6 — simulation speed (KCPS)", "", "```",
                  render_speed_table(samples), "```", ""]
+
+    if include_reliability:
+        from .reliability import ReliabilityGrid, run_reliability_campaign
+        outcome = run_reliability_campaign(
+            grid=ReliabilityGrid(n_commands=max(60, n_commands // 8)),
+            replicas=reliability_replicas)
+        sections += ["## Reliability — Monte-Carlo fault campaign "
+                     f"({reliability_replicas} replicas/cell, 95% "
+                     "Wilson CIs)", "", "```", outcome.format(), "```", ""]
 
     elapsed = time.perf_counter() - started
     sections.append(f"_Report generated in {elapsed:.1f} s._")

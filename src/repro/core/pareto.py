@@ -78,6 +78,39 @@ def best_item(items: Sequence[Item], cost: Key, value: Key,
     return min(items, key=lambda it: (-value(it), cost(it), name(it)))
 
 
+def multi_frontier(items: Iterable[Item], objectives: Sequence[Key],
+                   name: Name) -> List[Item]:
+    """Non-dominated items under N objectives, all maximized.
+
+    Generalizes :func:`pareto_frontier` beyond the (cost, value) plane —
+    minimize a dimension by negating its key.  An item is dominated if
+    another scores at least as high on every objective and strictly
+    higher on at least one; groups of exact coordinate duplicates keep
+    only their name-minimal member.  Those rules make the 2-objective
+    case set-identical to ``pareto_frontier(cost=-obj0, value=obj1)``
+    (locked by tests), and the result invariant under permutation of the
+    input.  Returned sorted by name.
+    """
+    if not objectives:
+        raise ValueError("multi_frontier needs at least one objective")
+    pool = sorted(items, key=name)
+    scores = [tuple(key(item) for key in objectives) for item in pool]
+    kept: List[Item] = []
+    for i, item in enumerate(pool):
+        mine = scores[i]
+        dominated = False
+        for j, other in enumerate(scores):
+            if j == i:
+                continue
+            if all(o >= m for o, m in zip(other, mine)) and (
+                    other != mine or j < i):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(item)
+    return kept
+
+
 # ----------------------------------------------------------------------
 # ParetoEntry conveniences (the store / promoter work on entries)
 

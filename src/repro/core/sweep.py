@@ -48,7 +48,9 @@ from ..ssd.scenarios import breakdown_with_events, measure
 #: with json_safe (non-finite floats become null).
 #: sweep-4: architectures gained the fidelity config field (cycle/fast
 #: abstraction levels participate in every fingerprint).
-CODE_VERSION = "sweep-4"
+#: sweep-5: RunResult reliability payloads gained page_reads,
+#: background_write_faults and the per-command outcome histogram.
+CODE_VERSION = "sweep-5"
 
 
 # ----------------------------------------------------------------------

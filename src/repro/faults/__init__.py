@@ -4,15 +4,21 @@
 spare pool); :class:`FaultPlan` turns it into a keyed, call-order
 independent fault schedule; the error types are what the recovery tiers
 raise when injection defeats them (retry ladder exhausted, spare pool
-empty).
+empty).  :mod:`repro.faults.outcomes` classifies each completed host
+command by how far up the recovery ladder its faults climbed.
 """
 
-from .plan import (FaultConfig, FaultError, FaultPlan, ProgramFailError,
-                   SparePoolExhausted, UncorrectableReadError,
-                   WriteFaultError, poisson_draw)
+from .outcomes import (OUTCOME_ORDER, CommandOutcome, classify_command,
+                       classify_commands)
+from .plan import (FaultConfig, FaultError, FaultPlan, PoissonTailClamped,
+                   ProgramFailError, SparePoolExhausted,
+                   UncorrectableReadError, WriteFaultError, poisson_draw,
+                   poisson_limit)
 
 __all__ = [
-    "FaultConfig", "FaultError", "FaultPlan", "ProgramFailError",
+    "CommandOutcome", "FaultConfig", "FaultError", "FaultPlan",
+    "OUTCOME_ORDER", "PoissonTailClamped", "ProgramFailError",
     "SparePoolExhausted", "UncorrectableReadError", "WriteFaultError",
-    "poisson_draw",
+    "classify_command", "classify_commands", "poisson_draw",
+    "poisson_limit",
 ]

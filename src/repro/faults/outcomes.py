@@ -1,0 +1,88 @@
+"""Per-command fault-outcome classification.
+
+Every completed :class:`~repro.host.commands.IoCommand` lands in exactly
+one outcome bucket describing how far up the recovery ladder its faults
+climbed.  The buckets are ordered by severity and the classifier applies
+them as a precedence (a read that both masked one page and retried
+another is *recovered_by_retry*, not *masked*):
+
+``ok``
+    No injected fault touched the command.
+``masked``
+    Bit errors were drawn but ECC corrected every page on the first
+    sense — invisible to the host, visible only to the classifier.
+``recovered_by_retry``
+    At least one page climbed the read-retry ladder before decoding.
+``remapped``
+    At least one page program reported FAIL and was replayed into a
+    freshly allocated block (the source block was retired).
+``uncorrectable``
+    A read exhausted the retry ladder; the command completed with
+    :attr:`IoStatus.UNCORRECTABLE`.
+``write_failed``
+    A write burned through ``max_remap_attempts`` and completed with
+    :attr:`IoStatus.WRITE_FAILED`.
+``spare_pool_exhausted``
+    A write failed because block retirement ran the die's spare pool
+    dry — the end-of-life signal, reported separately from ordinary
+    remap exhaustion.
+
+The counts feed :class:`~repro.ssd.metrics.RunResult` (and from there
+the SQLite store as ``reliability.outcomes.*`` dotted metrics), so a
+reliability campaign can estimate outcome rates with confidence
+intervals instead of just a scalar UBER.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable
+
+from ..host.commands import IoCommand, IoStatus
+
+
+class CommandOutcome(enum.Enum):
+    """Severity-ordered fault-outcome classes for one host command."""
+
+    OK = "ok"
+    MASKED = "masked"
+    RECOVERED_BY_RETRY = "recovered_by_retry"
+    REMAPPED = "remapped"
+    UNCORRECTABLE = "uncorrectable"
+    WRITE_FAILED = "write_failed"
+    SPARE_POOL_EXHAUSTED = "spare_pool_exhausted"
+
+
+#: Classifier output order — fixed so serialized counts are byte-stable.
+OUTCOME_ORDER = tuple(outcome.value for outcome in CommandOutcome)
+
+
+def classify_command(command: IoCommand) -> CommandOutcome:
+    """Classify one completed command (severity precedence, see module
+    docstring)."""
+    if command.status is IoStatus.UNCORRECTABLE:
+        return CommandOutcome.UNCORRECTABLE
+    if command.status is IoStatus.WRITE_FAILED:
+        if command.spare_pool_exhausted:
+            return CommandOutcome.SPARE_POOL_EXHAUSTED
+        return CommandOutcome.WRITE_FAILED
+    if command.remapped_programs:
+        return CommandOutcome.REMAPPED
+    if command.read_retries:
+        return CommandOutcome.RECOVERED_BY_RETRY
+    if command.masked_page_reads:
+        return CommandOutcome.MASKED
+    return CommandOutcome.OK
+
+
+def classify_commands(commands: Iterable[IoCommand]) -> Dict[str, int]:
+    """Outcome histogram over a command stream.
+
+    Every bucket is present (zero-filled) in classifier order, so two
+    runs always serialize with identical key sets — a requirement of the
+    byte-identical estimator guarantee.
+    """
+    counts: Dict[str, int] = {name: 0 for name in OUTCOME_ORDER}
+    for command in commands:
+        counts[classify_command(command).value] += 1
+    return counts

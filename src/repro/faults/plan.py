@@ -28,7 +28,10 @@ from __future__ import annotations
 
 import hashlib
 import math
+import sys
+import warnings
 from dataclasses import dataclass
+from statistics import NormalDist
 from typing import Dict, Tuple
 
 from ..kernel.events import SimulationError
@@ -132,23 +135,89 @@ class FaultConfig:
             raise ValueError("max_remap_attempts must be >= 1")
 
 
+#: Tail bound of :func:`poisson_draw`, in standard deviations past the
+#: mean.  Beyond ``mean + 40*sigma`` the Poisson tail mass is < 1e-300 —
+#: far below the 2**-64 resolution of the keyed-hash uniforms — so a
+#: quantile can only reach the bound through floating-point rounding of
+#: the CDF accumulation, never through genuine tail mass.
+POISSON_TAIL_SIGMA = 40.0
+
+#: ``math.exp(-mean)`` goes subnormal past this mean (~708.4) and the
+#: term-recurrence inversion loses most of its precision well before the
+#: absolute underflow at ~745 (draws drift high, upper quantiles hit the
+#: tail clamp), so :func:`poisson_draw` switches to the corrected
+#: normal-approximation inverse while ``exp(-mean)`` is still a normal
+#: float.
+POISSON_UNDERFLOW_MEAN = -math.log(sys.float_info.min)
+
+_STANDARD_NORMAL = NormalDist()
+
+
+class PoissonTailClamped(RuntimeWarning):
+    """:func:`poisson_draw` clamped a quantile at its documented bound.
+
+    Firing means CDF rounding (not tail mass) exhausted the iteration
+    budget — the returned draw is ``poisson_limit(mean)``, a documented
+    over-estimate of at most a rounding error's worth of quantile.
+    """
+
+
+def poisson_limit(mean: float) -> int:
+    """Largest draw :func:`poisson_draw` will return for ``mean``.
+
+    ``mean + POISSON_TAIL_SIGMA * sqrt(mean) + POISSON_TAIL_SIGMA``: the
+    40-sigma tail bound, padded by a constant so tiny means keep a
+    non-trivial range.
+    """
+    return int(mean + POISSON_TAIL_SIGMA * math.sqrt(mean)
+               + POISSON_TAIL_SIGMA)
+
+
 def poisson_draw(u: float, mean: float) -> int:
     """Invert the Poisson CDF at quantile ``u`` (binomial tail stand-in).
 
     Page bit errors are Binomial(n, p) with large n and small p; the
     Poisson approximation is standard for RBER work and keeps the draw a
     cheap deterministic function of one uniform.
+
+    Deterministic contract (property-tested): the draw is monotone
+    nondecreasing in ``u`` at fixed ``mean`` and in ``mean`` at fixed
+    ``u``, and never exceeds :func:`poisson_limit(mean)`.  Two explicit
+    escape hatches replace the old silent clamp:
+
+    * ``mean > POISSON_UNDERFLOW_MEAN`` (~708): ``exp(-mean)`` goes
+      subnormal and the term recurrence degrades, so the draw uses the
+      Cornish-Fisher corrected normal inverse
+      ``mean + sqrt(mean) * z + (z^2 - 1) / 6`` (error O(1/sqrt(mean)),
+      negligible at the means that reach this branch).
+    * CDF rounding exhausts the iteration budget inside the normal
+      regime: the draw clamps to the bound and emits
+      :class:`PoissonTailClamped` instead of clamping silently.
     """
     if mean <= 0:
         return 0
     if not 0.0 <= u < 1.0:
         raise ValueError(f"quantile must be in [0, 1), got {u}")
+    limit = poisson_limit(mean)
+    if mean > POISSON_UNDERFLOW_MEAN:
+        if u <= 0.0:
+            return 0
+        z = _STANDARD_NORMAL.inv_cdf(u)
+        # Cornish-Fisher skew term: matches the exact inversion to +-1
+        # at the regime boundary instead of the plain normal's +-z^2/6.
+        approx = mean + math.sqrt(mean) * z + (z * z - 1.0) / 6.0
+        return max(0, min(limit, round(approx)))
     term = math.exp(-mean)
     cdf = term
     k = 0
-    # Bounded: beyond mean + 40 sigma the tail mass is < 1e-300.
-    limit = int(mean + 40 * math.sqrt(mean) + 40)
-    while u >= cdf and k < limit:
+    while u >= cdf:
+        if k >= limit:
+            warnings.warn(
+                f"poisson_draw(u={u!r}, mean={mean!r}) hit the "
+                f"{POISSON_TAIL_SIGMA:.0f}-sigma bound ({limit}) before "
+                f"the CDF reached the quantile; clamping",
+                PoissonTailClamped, stacklevel=2)
+            return limit
         k += 1
         term *= mean / k
         cdf += term

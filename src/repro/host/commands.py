@@ -56,6 +56,21 @@ class IoCommand:
     #: otherwise.  Excluded from equality — two identical commands stay
     #: equal whether or not one was profiled.
     span: Optional[object] = field(default=None, repr=False, compare=False)
+    #: Recovery bookkeeping written by the channel/device fault paths and
+    #: read by :func:`repro.faults.outcomes.classify_command`.  Like
+    #: ``span``, these are measurement state, not command identity, so
+    #: they are excluded from equality.
+    #: Pages whose first sense drew bit errors that ECC corrected without
+    #: climbing the retry ladder (the fault was *masked*).
+    masked_page_reads: int = field(default=0, repr=False, compare=False)
+    #: Retry-ladder rungs climbed across this command's page reads.
+    read_retries: int = field(default=0, repr=False, compare=False)
+    #: Program-fail remaps absorbed while placing this command's pages.
+    remapped_programs: int = field(default=0, repr=False, compare=False)
+    #: Set when a WRITE_FAILED completion was caused by the spare-block
+    #: pool running dry (vs. remap-attempt exhaustion).
+    spare_pool_exhausted: bool = field(default=False, repr=False,
+                                       compare=False)
 
     def __post_init__(self) -> None:
         if self.lba < 0:

@@ -378,7 +378,13 @@ class SsdDevice(Component):
                     yield sim.process(self._flush(placement, buffer_index,
                                                   nbytes, pattern,
                                                   command=command))
-                except (WriteFaultError, SparePoolExhausted):
+                except SparePoolExhausted:
+                    # Subclass of WriteFaultError — must be caught first
+                    # so the end-of-life cause survives classification.
+                    command.spare_pool_exhausted = True
+                    self._fail(command, IoStatus.WRITE_FAILED)
+                    return
+                except WriteFaultError:
                     self._fail(command, IoStatus.WRITE_FAILED)
                     return
             else:
@@ -437,7 +443,8 @@ class SsdDevice(Component):
             # ...then the controller encodes, transfers and programs it;
             # allocation + program are atomic per die.
             if self.fault_plan is not None:
-                yield from self._program_with_remap(controller, target)
+                yield from self._program_with_remap(controller, target,
+                                                    command=command)
                 return
             __, way, die_index = target
             order = self._write_lock(target)
@@ -480,12 +487,14 @@ class SsdDevice(Component):
             self.buffers.release(buffer_index, nbytes)
 
     def _program_with_remap(self, controller: ChannelWayController,
-                            target: Tuple[int, int, int]):
+                            target: Tuple[int, int, int], command=None):
         """Allocate + program one page, remapping around program failures.
 
         A program-status failure retires the block (grown bad) and retries
         in a freshly allocated block, up to ``faults.max_remap_attempts``;
         past that the write surfaces as a :class:`WriteFaultError`.
+        ``command`` (``None`` for GC relocations) is annotated with the
+        remap count for outcome classification.
         """
         sim = self.sim
         __, way, die_index = target
@@ -503,6 +512,8 @@ class SsdDevice(Component):
                 except ProgramFailError:
                     self._retire_block(target, address.plane, address.block)
                     self.stats.counter("remapped_programs").increment()
+                    if command is not None:
+                        command.remapped_programs += 1
                     attempts += 1
                     if attempts > self.arch.faults.max_remap_attempts:
                         raise WriteFaultError(
@@ -534,9 +545,11 @@ class SsdDevice(Component):
             try:
                 # Pages of one command are read serially, so the span
                 # threads down into read_page for the fine stage marks
-                # (queue / bus_xfer / nand_busy / ecc_decode).
+                # (queue / bus_xfer / nand_busy / ecc_decode) and the
+                # command itself for masked/retry outcome annotations.
                 yield sim.process(controller.read_page(way, die_index,
-                                                       address, span=span))
+                                                       address, span=span,
+                                                       command=command))
             except UncorrectableReadError:
                 # Retry ladder exhausted: the command completes with a
                 # media error status, no data crosses the host link.

@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from ..faults.outcomes import classify_commands
 from ..host import IoCommand
 from ..host.workload import Workload
 from ..kernel import Simulator
@@ -65,6 +66,17 @@ class RunResult:
     uncorrectable_reads: int = 0
     retired_blocks: int = 0
     remapped_programs: int = 0
+    #: Total page reads — the UBER denominator (in pages; multiply by
+    #: page bits for the JEDEC form).  Exported so replica estimators can
+    #: pool exact counts instead of re-deriving them from ratios.
+    page_reads: int = 0
+    #: Write faults absorbed after a cached write was acknowledged (the
+    #: host saw success; only the device counted the loss).
+    background_write_faults: int = 0
+    #: Per-command outcome histogram from
+    #: :func:`repro.faults.outcomes.classify_commands` — every bucket
+    #: present, zero-filled, in classifier order.
+    outcomes: Dict[str, int] = field(default_factory=dict)
     #: Per-stage latency decomposition (populated only when observability
     #: is enabled during the run): stage name -> breakdown row as
     #: produced by :meth:`repro.obs.spans.SpanRecorder.breakdown`.
@@ -108,6 +120,9 @@ class RunResult:
                 "uncorrectable_reads": self.uncorrectable_reads,
                 "retired_blocks": self.retired_blocks,
                 "remapped_programs": self.remapped_programs,
+                "page_reads": self.page_reads,
+                "background_write_faults": self.background_write_faults,
+                "outcomes": dict(self.outcomes),
             },
             "stage_breakdown": {name: dict(row) for name, row
                                 in self.stage_breakdown.items()},
@@ -225,6 +240,7 @@ def run_workload(sim: Simulator, device: SsdDevice, workload: Workload,
         utilizations=collect_utilizations(device),
         stage_breakdown=(_obs.active_recorder.breakdown()
                          if _obs.enabled else {}),
+        outcomes=classify_commands(commands),
         **collect_reliability(device),
     )
 
@@ -292,6 +308,9 @@ def collect_reliability(device: SsdDevice) -> Dict[str, object]:
         "uncorrectable_reads": uncorrectable,
         "retired_blocks": device.stats.counter("retired_blocks").value,
         "remapped_programs": device.stats.counter("remapped_programs").value,
+        "page_reads": reads,
+        "background_write_faults":
+            device.stats.counter("background_write_faults").value,
     }
 
 

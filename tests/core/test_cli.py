@@ -171,10 +171,14 @@ class TestJsonExport:
 
 
 class TestReport:
+    # --skip-reliability keeps these fast; the reliability section is
+    # covered by test_experiments.py::TestFullReportUnit and the
+    # dedicated tier in test_reliability.py.
     def test_report_to_file(self, tmp_path, capsys):
         out = tmp_path / "report.md"
         assert main(["report", "--commands", "60", "--configs", "C1",
-                     "--skip-fig4", "--out", str(out)]) == 0
+                     "--skip-fig4", "--skip-reliability",
+                     "--out", str(out)]) == 0
         text = out.read_text()
         assert "# SSDExplorer reproduction" in text
         assert "Fig. 3" in text
@@ -185,6 +189,34 @@ class TestReport:
 
     def test_report_to_stdout(self, capsys):
         assert main(["report", "--commands", "50", "--configs", "C1",
-                     "--skip-fig4"]) == 0
+                     "--skip-fig4", "--skip-reliability"]) == 0
         out = capsys.readouterr().out
         assert "generated report" in out
+
+
+class TestReliabilityCli:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["reliability", "run", "dir"])
+        assert args.reliability_command == "run"
+        assert args.replicas == 64
+        assert args.metric == "failed_rate"
+        assert args.target_half_width == 0.0
+
+    def test_run_report_agree(self, tmp_path, capsys):
+        directory = str(tmp_path / "rel")
+        assert main(["reliability", "run", directory, "--replicas", "2",
+                     "--fractions", "1.0", "--kinds", "read",
+                     "--commands", "16", "--workers", "1",
+                     "--quiet", "--json"]) == 0
+        ran = capsys.readouterr().out
+        assert main(["reliability", "report", directory, "--json"]) == 0
+        reported = capsys.readouterr().out
+        import json as json_module
+        ran_estimates = json_module.loads(ran)["estimates"]
+        rep_estimates = json_module.loads(reported)["estimates"]
+        assert ran_estimates == rep_estimates
+        assert "rel/read/1/s8" in ran_estimates
+
+    def test_report_requires_campaign(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["reliability", "report", str(tmp_path / "missing")])

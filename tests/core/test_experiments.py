@@ -82,8 +82,10 @@ class TestFullReportUnit:
     def test_generate_report_structure(self):
         from repro.core import generate_report
         text = generate_report(n_commands=50, configs=["C1"],
-                               include_fig4=False)
-        for heading in ("Table I", "Fig. 2", "Fig. 3", "Fig. 5", "Fig. 6"):
+                               include_fig4=False, reliability_replicas=2)
+        for heading in ("Table I", "Fig. 2", "Fig. 3", "Fig. 5", "Fig. 6",
+                        "Reliability"):
             assert heading in text
+        assert "perf-vs-reliability-vs-spares frontier" in text
         assert "Saturating (cache policy)" in text
         assert "Report generated in" in text

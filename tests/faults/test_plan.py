@@ -1,8 +1,13 @@
 """Tests for the deterministic fault plan and its config."""
 
+import random
+import warnings
+
 import pytest
 
-from repro.faults import FaultConfig, FaultPlan, poisson_draw
+from repro.faults import (FaultConfig, FaultPlan, PoissonTailClamped,
+                          poisson_draw, poisson_limit)
+from repro.faults import plan as plan_module
 from repro.nand import PageAddress
 
 
@@ -171,3 +176,77 @@ class TestPoissonDraw:
 
     def test_median_near_mean(self):
         assert poisson_draw(0.5, 100.0) == pytest.approx(100, abs=5)
+
+
+class TestPoissonHardening:
+    """Seeded property tests for the clamp and the underflow regime."""
+
+    MEANS = (0.05, 0.3, 2.0, 17.0, 250.0,
+             plan_module.POISSON_UNDERFLOW_MEAN - 1.0,
+             plan_module.POISSON_UNDERFLOW_MEAN + 1.0,
+             800.0, 2500.0)
+
+    def test_monotone_in_quantile_every_regime(self):
+        rng = random.Random(20260808)
+        for mean in self.MEANS:
+            quantiles = sorted(rng.random() for __ in range(200))
+            draws = [poisson_draw(u, mean) for u in quantiles]
+            assert draws == sorted(draws), f"mean={mean}"
+
+    def test_monotone_in_mean_within_each_regime(self):
+        """At a fixed quantile the draw grows with the mean, both in the
+        exact-recurrence regime and the normal-approximation regime."""
+        boundary = plan_module.POISSON_UNDERFLOW_MEAN
+        rng = random.Random(7)
+        for __ in range(40):
+            u = rng.random()
+            means = sorted(rng.uniform(0.01, 2500.0) for __ in range(25))
+            for regime in (lambda m: m <= boundary, lambda m: m > boundary):
+                draws = [poisson_draw(u, mean) for mean in means
+                         if regime(mean)]
+                assert draws == sorted(draws), f"u={u}"
+
+    def test_regime_handoff_is_continuous(self):
+        """Crossing the underflow boundary may shift the draw by the
+        approximation's quantization, but never by a visible jump."""
+        boundary = plan_module.POISSON_UNDERFLOW_MEAN
+        rng = random.Random(11)
+        for __ in range(50):
+            u = rng.random()
+            below = poisson_draw(u, boundary - 0.25)
+            above = poisson_draw(u, boundary + 0.25)
+            assert abs(above - below) <= 3, f"u={u}"
+
+    def test_never_exceeds_documented_limit(self):
+        rng = random.Random(1234)
+        for __ in range(500):
+            mean = rng.uniform(0.01, 2500.0)
+            u = rng.random()
+            assert poisson_draw(u, mean) <= poisson_limit(mean)
+        # The extreme quantile lands exactly on the bound.
+        for mean in self.MEANS:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", PoissonTailClamped)
+                assert poisson_draw(1.0 - 1e-16, mean) <= poisson_limit(mean)
+
+    def test_underflow_regime_median_tracks_mean(self):
+        assert poisson_draw(0.5, 1000.0) == pytest.approx(1000, abs=2)
+        assert poisson_draw(0.0, 1000.0) == 0
+
+    def test_clamp_boundary_warns(self, monkeypatch):
+        """Hitting the tail bound in the exact-recurrence regime clamps
+        to the bound and says so, instead of silently truncating."""
+        monkeypatch.setattr(plan_module, "poisson_limit", lambda mean: 3)
+        with pytest.warns(PoissonTailClamped):
+            assert plan_module.poisson_draw(1.0 - 1e-16, 50.0) == 3
+
+    def test_typical_draw_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PoissonTailClamped)
+            poisson_draw(0.999, 50.0)
+            poisson_draw(0.5, 1e-6)
+
+    def test_limit_grows_with_mean(self):
+        limits = [poisson_limit(mean) for mean in sorted(self.MEANS)]
+        assert limits == sorted(limits)
+        assert all(poisson_limit(mean) > mean for mean in self.MEANS)

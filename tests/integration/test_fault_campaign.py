@@ -95,3 +95,49 @@ class TestCampaignDeterminism:
     def test_faults_architecture_is_reproducible(self):
         assert faults_architecture(seed=5) == faults_architecture(seed=5)
         assert faults_architecture(seed=5) != faults_architecture(seed=6)
+
+
+class TestFailedPointRows:
+    """Crashed campaign points are reported, not silently dropped."""
+
+    class Runner:
+        """Serves one crafted failure alongside passthrough successes."""
+
+        def run(self, points):
+            from repro.core import PointFailure, PointOutcome
+            from repro.core.sweep import SweepResult, SweepSummary
+            outcomes = []
+            for index, point in enumerate(points):
+                if index == 0:
+                    outcomes.append(PointOutcome(
+                        name=point.name, payload={}, cached=False,
+                        events=0, elapsed_s=0.0, key="cafe" * 16,
+                        failure=PointFailure(
+                            error_type="SimulationError",
+                            message="injected for the test")))
+                else:
+                    outcomes.append(PointOutcome(
+                        name=point.name,
+                        payload={"sustained_mbps": 100.0,
+                                 "reliability": {"read_retries": 1}},
+                        cached=False, events=1, elapsed_s=0.0, key=None))
+            summary = SweepSummary(total=len(points), cached=0,
+                                   simulated=len(points) - 1,
+                                   wall_seconds=0.0, simulated_events=1,
+                                   workers=1, failed=1)
+            return SweepResult(outcomes=outcomes, summary=summary)
+
+    def test_failed_rows_carry_post_mortem(self):
+        rows = faults_campaign(n_commands=8, fractions=[1.0],
+                               runner=self.Runner())
+        statuses = {name: row["status"] for name, row in rows.items()}
+        assert "failed" in statuses.values() and "ok" in statuses.values()
+        failed = next(row for row in rows.values()
+                      if row["status"] == "failed")
+        assert failed["error_type"] == "SimulationError"
+        assert failed["message"] == "injected for the test"
+        assert failed["post_mortem_key"] == "cafe" * 16
+        assert "sustained_mbps" not in failed
+        ok = next(row for row in rows.values() if row["status"] == "ok")
+        assert ok["sustained_mbps"] == 100.0
+        assert ok["read_retries"] == 1
