@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast bench sweep campaign faults profile trace fidelity \
-	golden golden-refresh reliability reliability-bench
+	golden golden-refresh reliability reliability-bench ftl
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -64,6 +64,20 @@ reliability:
 # REPRO_BENCH_COMMANDS, REPRO_BENCH_REPLICAS, REPRO_BENCH_WORKERS.
 reliability-bench:
 	$(PYTHON) benchmarks/bench_reliability.py
+
+# FTL scheme-zoo smoke: list the registered schemes, sweep three of them
+# across a DRAM budget on the bundled trace (analytic WAF cross-check
+# included) and require byte-identical JSON across worker counts.
+ftl:
+	$(PYTHON) -m repro ftl schemes
+	$(PYTHON) -m repro ftl sweep --schemes pagemap,groupmap,dftl \
+		--dram-budgets 8192 --commands 60 --workers 1 --json \
+		> /tmp/repro-ftl-a.json
+	$(PYTHON) -m repro ftl sweep --schemes pagemap,groupmap,dftl \
+		--dram-budgets 8192 --commands 60 --workers 4 --json \
+		> /tmp/repro-ftl-b.json
+	cmp /tmp/repro-ftl-a.json /tmp/repro-ftl-b.json
+	@echo "ftl sweep deterministic across worker counts"
 
 # Trace-ingestion smoke: characterize, replay and format-convert the
 # bundled sample trace end to end through the CLI.

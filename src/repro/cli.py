@@ -12,6 +12,8 @@ Usage::
     python -m repro trace characterize examples/sample_msr.csv
     python -m repro trace replay examples/sample_msr.csv --precondition steady
     python -m repro trace convert trace.blkparse trace.txt --to native
+    python -m repro ftl schemes
+    python -m repro ftl sweep --schemes pagemap,dftl --workers 4
     python -m repro run --config ssd.cfg --workload SW --commands 1000
     python -m repro profile --workload SR --trace-out trace.json
     python -m repro explore --configs C1,C2,C6,C8
@@ -506,6 +508,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     text = generate_report(n_commands=args.commands, configs=configs,
                            include_fig4=not args.skip_fig4,
                            include_reliability=not args.skip_reliability,
+                           include_ftl=not args.skip_ftl,
                            reliability_replicas=args.reliability_replicas)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -571,6 +574,131 @@ def cmd_trace_sweep(args: argparse.Namespace) -> int:
                   f"{payload['iops']:>9.0f} "
                   f"{payload['latency_us']['p99']:>9.1f}")
     return _print_summary(runner)
+
+
+# ----------------------------------------------------------------------
+# repro ftl …
+
+
+def _parse_schemes(text: str) -> Optional[List[str]]:
+    from .ftl import scheme_names
+    if not text:
+        return None
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    unknown = [name for name in names if name not in scheme_names()]
+    if unknown:
+        raise SystemExit(f"unknown FTL schemes: {unknown}; "
+                         f"choose from {scheme_names()}")
+    return names
+
+
+def cmd_ftl_schemes(args: argparse.Namespace) -> int:
+    """List the FTL scheme registry with mapping footprints.
+
+    Footprints are computed for the sweep's reference geometry (the
+    4-die "FTL microscope") so the table shows concrete bytes, not
+    formulas."""
+    from .core.ftlsweep import (DEFAULT_BLOCKS_PER_PLANE,
+                                DEFAULT_UTILIZATION, ftl_base_architecture)
+    from .ftl import FTL_SCHEMES, scheme_footprint
+    arch = ftl_base_architecture()
+    geometry = arch.geometry
+    physical_pages = (arch.total_dies * geometry.planes_per_die
+                      * DEFAULT_BLOCKS_PER_PLANE * geometry.pages_per_block)
+    logical_pages = int(physical_pages * DEFAULT_UTILIZATION)
+    rows = []
+    for name, scheme in FTL_SCHEMES.items():
+        footprint = scheme_footprint(
+            name, logical_pages, page_bytes=geometry.page_bytes,
+            ftl_dram_bytes=args.dram_bytes or None,
+            group_pages=(geometry.pages_per_block
+                         if name == "blockmap" else 0))
+        rows.append({"name": name,
+                     "description": scheme.description,
+                     "dram_sensitive": scheme.dram_sensitive,
+                     "footprint": footprint.to_dict()})
+    if args.json:
+        print(render_json({"logical_pages": logical_pages,
+                           "page_bytes": geometry.page_bytes,
+                           "schemes": rows}))
+        return 0
+    print(f"reference geometry: {logical_pages} logical pages x "
+          f"{geometry.page_bytes} B "
+          f"({arch.total_dies} dies, {DEFAULT_BLOCKS_PER_PLANE} "
+          f"blocks/plane, {DEFAULT_UTILIZATION:.0%} utilization)")
+    print()
+    header = (f"{'scheme':<10} {'table B':>9} {'DRAM B':>9} "
+              f"{'flash B':>9} {'cached':>7}  description")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        fp = row["footprint"]
+        print(f"{row['name']:<10} {fp['table_bytes']:>9d} "
+              f"{fp['dram_bytes']:>9d} {fp['flash_bytes']:>9d} "
+              f"{fp['cached_fraction']:>7.2f}  {row['description']}")
+    return 0
+
+
+def cmd_ftl_sweep(args: argparse.Namespace) -> int:
+    """Replay one trace across the FTL scheme zoo; print the
+    WAF / latency / mapping-footprint trade-off table and check the
+    page-map reference against the analytic WAF model."""
+    from .core.ftlsweep import (analytic_waf_check, ftl_sweep,
+                                ftl_sweep_table)
+    from .core.tracereplay import TraceWorkload
+    workload = TraceWorkload.from_file(
+        args.trace, fmt=args.format,
+        honor_issue_times=not args.closed_loop,
+        max_commands=args.commands or None)
+    runner = runner_from_args(args, quiet=args.json)
+    schemes = _parse_schemes(args.schemes)
+    budgets = ([int(part) for part in args.dram_budgets.split(",") if part]
+               if args.dram_budgets else None)
+    try:
+        payloads = ftl_sweep(workload, schemes=schemes,
+                             dram_budgets=budgets, runner=runner,
+                             logical_utilization=args.utilization,
+                             blocks_per_plane=args.blocks_per_plane)
+    except Exception as error:
+        raise SystemExit(str(error))
+    rows = ftl_sweep_table(payloads)
+    analytic = None if args.no_analytic else analytic_waf_check()
+    if args.json:
+        # No wall-clock summary line: JSON output must stay byte-identical
+        # across runs and worker counts (same convention as cmd_faults).
+        print(render_json({"trace": args.trace, "sha256": workload.sha256,
+                           "rows": rows,
+                           **({} if analytic is None
+                              else {"analytic": analytic})}))
+        return 1 if analytic is not None \
+            and not analytic["within_bound"] else 0
+    else:
+        header = (f"{'point':<14} {'scheme':<9} {'WAF':>8} {'MB/s':>7} "
+                  f"{'mean us':>9} {'p99 us':>9} {'table B':>9} "
+                  f"{'DRAM B':>9} {'cached':>7}")
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            print(f"{row['point']:<14} {row['scheme']:<9} "
+                  f"{row['waf']:>8.3f} {row['throughput_mbps']:>7.2f} "
+                  f"{row['mean_latency_us']:>9.1f} "
+                  f"{row['p99_latency_us']:>9.1f} "
+                  f"{row['table_bytes']:>9d} {row['dram_bytes']:>9d} "
+                  f"{row['cached_fraction']:>7.2f}")
+        if analytic is not None:
+            print()
+            print(f"analytic check : measured pagemap WAF "
+                  f"{analytic['measured_waf']:.3f} vs greedy sim "
+                  f"{analytic['greedy_sim_waf']:.3f} "
+                  f"({analytic['deviation_vs_greedy']:.1%} off), "
+                  f"LRU closed form {analytic['lru_analytic_waf']:.3f}")
+            print("analytic check : "
+                  + ("PASS (within bound)" if analytic["within_bound"]
+                     else "FAIL (outside bound)"))
+    status = _print_summary(runner)
+    if analytic is not None and not analytic["within_bound"]:
+        return 1
+    return status
 
 
 # ----------------------------------------------------------------------
@@ -954,6 +1082,56 @@ def build_parser() -> argparse.ArgumentParser:
                          help="convert only the first N records (0 = all)")
     convert.set_defaults(func=cmd_trace_convert)
 
+    ftl = sub.add_parser(
+        "ftl", help="real-FTL scheme zoo: list the mapping schemes or "
+                    "sweep a trace across them under a DRAM budget")
+    ftl_sub = ftl.add_subparsers(dest="ftl_command", required=True)
+
+    fschemes = ftl_sub.add_parser(
+        "schemes", help="registry table: every mapping scheme with its "
+                        "mapping-table footprint on the reference "
+                        "geometry")
+    fschemes.add_argument("--dram-bytes", type=int, default=0,
+                          help="ftl_dram_bytes budget for DRAM-sensitive "
+                               "schemes (0 = scheme default)")
+    fschemes.add_argument("--json", action="store_true")
+    fschemes.set_defaults(func=cmd_ftl_schemes)
+
+    fsweep = ftl_sub.add_parser(
+        "sweep", help="replay one trace through every scheme (DFTL "
+                      "expanded across DRAM budgets); chart WAF / "
+                      "latency / mapping bytes and validate the page-map "
+                      "reference against the analytic WAF model")
+    fsweep.add_argument("trace", nargs="?",
+                        default="examples/sample_msr.csv",
+                        help="trace file (default: the bundled sample)")
+    fsweep.add_argument("--format", type=str, default="auto",
+                        help="native | msr | blkparse | auto")
+    fsweep.add_argument("--schemes", type=str, default="",
+                        help="comma-separated subset of the registry "
+                             "(default: every scheme)")
+    fsweep.add_argument("--dram-budgets", type=str, default="",
+                        help="comma-separated ftl_dram_bytes ladder for "
+                             "DRAM-sensitive schemes (default: derived "
+                             "from the geometry)")
+    fsweep.add_argument("--commands", type=int, default=0,
+                        help="replay only the first N records (0 = all)")
+    fsweep.add_argument("--closed-loop", action="store_true",
+                        help="ignore trace issue times; saturate the "
+                             "queue")
+    fsweep.add_argument("--utilization", type=float, default=0.75,
+                        help="logical utilization of the FTL's physical "
+                             "space")
+    fsweep.add_argument("--blocks-per-plane", type=int, default=8,
+                        help="FTL blocks per plane (small = GC visible "
+                             "in short traces)")
+    fsweep.add_argument("--no-analytic", action="store_true",
+                        help="skip the analytic WAF cross-check")
+    fsweep.add_argument("--json", action="store_true",
+                        help="emit rows + analytic check as JSON")
+    add_sweep_options(fsweep)
+    fsweep.set_defaults(func=cmd_ftl_sweep)
+
     cal = sub.add_parser(
         "calibrate", help="fit the fast-fidelity parameters from short "
                           "cycle-accurate probes (content-addressed "
@@ -981,6 +1159,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--skip-fig4", action="store_true")
     report.add_argument("--skip-reliability", action="store_true",
                         help="skip the Monte-Carlo reliability section")
+    report.add_argument("--skip-ftl", action="store_true",
+                        help="skip the real-FTL scheme-zoo section")
     report.add_argument("--reliability-replicas", type=int, default=8,
                         help="fault-trial replicas per reliability cell")
     report.set_defaults(func=cmd_report)

@@ -24,6 +24,9 @@ from .experiments import (FAULT_CAMPAIGN_FRACTIONS, TABLE2_LABELS,
                           table3_configs, validation_config)
 from .explorer import (DesignPoint, DesignSpaceExplorer, ExplorationResult,
                        ResourceCostModel, generate_design_space)
+from .ftlsweep import (analytic_waf_check, default_dram_budgets,
+                       evaluate_ftl_point, ftl_sweep, ftl_sweep_points,
+                       ftl_sweep_table)
 from .fullreport import generate_report
 from .kernelbench import (interface_speed, kernel_microbench,
                           kernel_speed_report, render_report, write_report)
@@ -92,6 +95,8 @@ __all__ = [
     "measure_speed", "render_report", "write_report",
     "ReplayOutcome", "TraceWorkload", "replay_trace", "sha256_file",
     "trace_sweep", "trace_sweep_points",
+    "analytic_waf_check", "default_dram_budgets", "evaluate_ftl_point",
+    "ftl_sweep", "ftl_sweep_points", "ftl_sweep_table",
     "render_breakdown_table", "render_json",
     "render_series_table", "render_speed_table", "render_table",
     "render_validation_table", "run_validation", "speed_sweep",

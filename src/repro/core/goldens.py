@@ -59,17 +59,37 @@ def golden_sample_trace(repo_root: str = ".") -> Dict[str, Any]:
     return {"profile": outcome.profile.to_dict(), "result": result}
 
 
+def golden_ftl_sample_trace(repo_root: str = ".") -> Dict[str, Any]:
+    """The sample trace through the real-FTL device: page-map reference
+    plus DFTL at a pinned mid-size DRAM budget.
+
+    Pins the whole FTL stack — preconditioning, GC, victim selection,
+    translation paging, replay timing and the counter/footprint payload.
+    Any behavior drift in a scheme shows up as a byte diff here.
+    """
+    from .ftlsweep import ftl_sweep
+    from .sweep import SweepRunner
+    from .tracereplay import TraceWorkload
+    path = os.path.join(repo_root, SAMPLE_TRACE)
+    payloads = ftl_sweep(TraceWorkload.from_file(path),
+                         schemes=["pagemap", "dftl"],
+                         dram_budgets=[8192],
+                         runner=SweepRunner(workers=1))
+    return payloads
+
+
 GOLDENS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "fig3": golden_fig3,
     "fig5": golden_fig5,
     "sample_trace": golden_sample_trace,
+    "ftl_sample_trace": golden_ftl_sample_trace,
 }
 
 
 def compute_golden(name: str, repo_root: str = ".") -> Dict[str, Any]:
     """Compute one golden document (repo-root-relative inputs)."""
     builder = GOLDENS[name]
-    if name == "sample_trace":
+    if name in ("sample_trace", "ftl_sample_trace"):
         return builder(repo_root)
     return builder()
 

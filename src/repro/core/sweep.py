@@ -50,7 +50,10 @@ from ..ssd.scenarios import breakdown_with_events, measure
 #: abstraction levels participate in every fingerprint).
 #: sweep-5: RunResult reliability payloads gained page_reads,
 #: background_write_faults and the per-command outcome histogram.
-CODE_VERSION = "sweep-5"
+#: sweep-6: architectures gained the FTL scheme registry fields
+#: (ftl_scheme / ftl_dram_bytes / ftl_group_pages) and real-FTL
+#: RunResult payloads gained the ftl metrics section.
+CODE_VERSION = "sweep-6"
 
 
 # ----------------------------------------------------------------------
@@ -163,10 +166,21 @@ def _eval_replay(point: SweepPoint) -> Tuple[Dict[str, Any], int]:
     return evaluate_replay_point(point)
 
 
+def _eval_ftl(point: SweepPoint) -> Tuple[Dict[str, Any], int]:
+    """Real-FTL trace replay (scheme zoo / DRAM-budget sweep points).
+
+    Deferred import for the same reason as :func:`_eval_replay`:
+    :mod:`repro.core.ftlsweep` imports this module's types.
+    """
+    from .ftlsweep import evaluate_ftl_point
+    return evaluate_ftl_point(point)
+
+
 EVALUATORS: Dict[str, Callable[[SweepPoint], Tuple[Dict[str, Any], int]]] = {
     "breakdown": _eval_breakdown,
     "measure": _eval_measure,
     "replay": _eval_replay,
+    "ftl": _eval_ftl,
 }
 
 

@@ -1,12 +1,19 @@
-"""Flash translation layer: WAF abstraction and a real page-mapping FTL."""
+"""Flash translation layer: WAF abstraction and real mapping schemes."""
 
-from .pagemap import (BlockInfo, FlashBackend, FtlError, PageMapFtl,
-                      PhysicalPage)
+from .pagemap import (BlockInfo, FlashBackend, FtlError, JournalingBackend,
+                      PageMapFtl, PhysicalPage)
+from .schemes import (DEFAULT_GROUP_PAGES, ENTRY_BYTES, FTL_SCHEMES,
+                      DftlFtl, FtlScheme, GroupMapFtl, MappingFootprint,
+                      get_scheme, make_ftl, register_scheme,
+                      scheme_footprint, scheme_names)
 from .waf import (GreedyWafSimulator, WafModel, build_default_waf_model,
                   spare_factor, waf_lru_analytic)
 
 __all__ = [
-    "BlockInfo", "FlashBackend", "FtlError", "GreedyWafSimulator",
-    "PageMapFtl", "PhysicalPage", "WafModel", "build_default_waf_model",
-    "spare_factor", "waf_lru_analytic",
+    "BlockInfo", "DEFAULT_GROUP_PAGES", "DftlFtl", "ENTRY_BYTES",
+    "FTL_SCHEMES", "FlashBackend", "FtlError", "FtlScheme",
+    "GreedyWafSimulator", "GroupMapFtl", "JournalingBackend",
+    "MappingFootprint", "PageMapFtl", "PhysicalPage", "WafModel",
+    "build_default_waf_model", "get_scheme", "make_ftl", "register_scheme",
+    "scheme_footprint", "scheme_names", "spare_factor", "waf_lru_analytic",
 ]

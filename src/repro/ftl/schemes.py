@@ -1,0 +1,433 @@
+"""Pluggable FTL scheme registry: mapping granularity as a DSE axis.
+
+The paper frames the CPU/FTL layer as plug-&-play firmware; this module
+makes the *mapping scheme* — and the controller DRAM it costs — a
+first-class design-space parameter:
+
+* ``pagemap``  — the :class:`~repro.ftl.pagemap.PageMapFtl` reference:
+  one entry per logical page, the whole table resident in DRAM.
+* ``groupmap`` / ``blockmap`` — :class:`GroupMapFtl`: one entry per group
+  of consecutive logical pages (a whole erase block for ``blockmap``).
+  The table shrinks by the group factor; any sub-group overwrite pays a
+  read-modify-write of the group's other live pages.
+* ``dftl`` — :class:`DftlFtl`: demand-paged page mapping a la DFTL
+  (Gupta et al., ASPLOS'09).  The full table lives on flash in
+  *translation pages*; DRAM holds a small global translation directory
+  plus a cached subset sized by the sweepable ``ftl_dram_bytes`` budget.
+  A miss issues a real backend read of the translation page; evicting a
+  dirty one issues a real program.
+
+Every scheme exposes the same :class:`~repro.ftl.pagemap.PageMapFtl`
+surface (write/read/trim/lookup/waf/counters) plus
+``mapping_footprint()``, so the sweep engine can chart WAF / latency /
+mapping-table bytes across schemes and DRAM budgets.
+:func:`scheme_footprint` predicts the same footprint without building an
+FTL (used by reports and the CLI's scheme table).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .pagemap import FlashBackend, FtlError, PageMapFtl
+
+#: Bytes per physical-page-number entry (32-bit PPN, the common choice
+#: for drives below 16 TiB at 4 KiB pages).
+ENTRY_BYTES = 4
+
+#: Default group size (logical pages per map entry) for ``groupmap``.
+DEFAULT_GROUP_PAGES = 8
+
+
+@dataclass(frozen=True)
+class MappingFootprint:
+    """Where a scheme's mapping metadata lives and how big it is."""
+
+    scheme: str
+    #: Bytes per mapping entry.
+    entry_bytes: int
+    #: Entries in the full logical-to-physical table.
+    table_entries: int
+    #: Bytes of the full table (wherever it is stored).
+    table_bytes: int
+    #: Bytes resident in controller DRAM (table, cache and directory).
+    dram_bytes: int
+    #: Bytes of mapping metadata stored on flash (0 if DRAM-resident).
+    flash_bytes: int
+    #: Fraction of the table reachable without a flash access.
+    cached_fraction: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "entry_bytes": self.entry_bytes,
+            "table_entries": self.table_entries,
+            "table_bytes": self.table_bytes,
+            "dram_bytes": self.dram_bytes,
+            "flash_bytes": self.flash_bytes,
+            "cached_fraction": self.cached_fraction,
+        }
+
+
+class GroupMapFtl(PageMapFtl):
+    """Group-mapped FTL: one table entry per ``group_pages`` logical pages.
+
+    A host write rewrites the *whole group* log-structured (the target
+    page plus every other currently-live page of the group, relocated
+    via read-modify-write), so consecutive group pages always land
+    contiguously and a single entry can describe them.  Classic
+    block-mapping economics: the table shrinks by the group factor while
+    random sub-group overwrites multiply the write traffic.
+    """
+
+    scheme_name = "groupmap"
+
+    def __init__(self, backend: FlashBackend, logical_pages: int,
+                 group_pages: int = DEFAULT_GROUP_PAGES,
+                 gc_low_watermark: int = 2,
+                 static_wl_threshold: int = 0):
+        if group_pages < 1:
+            raise FtlError(f"group_pages must be >= 1, got {group_pages}")
+        super().__init__(backend, logical_pages,
+                         gc_low_watermark=gc_low_watermark,
+                         static_wl_threshold=static_wl_threshold)
+        self.group_pages = group_pages
+
+    def _pick_group_die(self) -> int:
+        """Die with the most room (ties to the lowest index).
+
+        Groups land whole on one die, so the base FTL's round-robin can
+        starve a die: the group's programs hit the robin's pick while its
+        invalidations land wherever the group previously lived.  Writing
+        to the roomiest die keeps the pools balanced by construction.
+        """
+        def room(die: int) -> int:
+            active = self._active[die]
+            slack = 0 if active is None \
+                else self.backend.pages - active.write_pointer
+            return slack + len(self._free[die]) * self.backend.pages
+
+        return max(range(self.backend.n_dies),
+                   key=lambda die: (room(die), -die))
+
+    def write(self, logical_page: int):
+        self._check_lpn(logical_page)
+        start = logical_page - logical_page % self.group_pages
+        end = min(start + self.group_pages, self.logical_pages)
+        die = self._pick_group_die()
+        location = None
+        for page in range(start, end):
+            if page == logical_page:
+                location = self._program_page(page, die=die)
+            else:
+                previous = self._map.get(page)
+                if previous is not None:
+                    self.backend.read(previous)
+                    self._program_page(page, die=die)
+                    self.rmw_relocations += 1
+        self.host_writes += 1
+        self._collect_if_needed(die)
+        return location
+
+    def mapping_footprint(self) -> MappingFootprint:
+        return scheme_footprint(self.scheme_name, self.logical_pages,
+                                page_bytes=0,
+                                group_pages=self.group_pages)
+
+
+class DftlFtl(PageMapFtl):
+    """DFTL-style page mapping under a DRAM budget.
+
+    The authoritative page map is *stored on flash*: logical pages
+    ``[data_pages, data_pages + translation_pages)`` of the underlying
+    page-map machinery hold the translation pages, so they are
+    log-written, garbage-collected and wear-leveled like any data — the
+    in-memory map doubles as the (small, DRAM-resident) global
+    translation directory.  DRAM additionally caches whole translation
+    pages (the CMT); ``ftl_dram_bytes`` sizes directory + cache:
+
+    * CMT miss on a translation page that has been written → a real
+      backend **read** of its current flash location,
+    * dirty CMT eviction → a real backend **program** of a fresh
+      translation page (counted in ``translation_writes`` and in WAF).
+
+    A budget large enough for the whole table degenerates to ``pagemap``
+    behavior (every access hits); a tiny budget thrashes.
+    """
+
+    scheme_name = "dftl"
+
+    def __init__(self, backend: FlashBackend, logical_pages: int,
+                 page_bytes: int,
+                 ftl_dram_bytes: Optional[int] = None,
+                 gc_low_watermark: int = 2,
+                 static_wl_threshold: int = 0):
+        if page_bytes < ENTRY_BYTES:
+            raise FtlError(f"page_bytes must be >= {ENTRY_BYTES}, "
+                           f"got {page_bytes}")
+        self.page_bytes = page_bytes
+        self.entries_per_tpage = max(1, page_bytes // ENTRY_BYTES)
+        self.data_pages = logical_pages
+        self.translation_pages = -(-logical_pages // self.entries_per_tpage)
+        super().__init__(backend,
+                         logical_pages + self.translation_pages,
+                         gc_low_watermark=gc_low_watermark,
+                         static_wl_threshold=static_wl_threshold)
+        gtd_bytes = self.translation_pages * ENTRY_BYTES
+        tpage_bytes = self.entries_per_tpage * ENTRY_BYTES
+        if ftl_dram_bytes is None:
+            self.cached_tpages = self.translation_pages
+        else:
+            self.cached_tpages = (ftl_dram_bytes - gtd_bytes) // tpage_bytes
+            if self.cached_tpages < 1:
+                raise FtlError(
+                    f"ftl_dram_bytes={ftl_dram_bytes} cannot hold the "
+                    f"translation directory ({gtd_bytes} B) plus one "
+                    f"cached translation page ({tpage_bytes} B)")
+            self.cached_tpages = min(self.cached_tpages,
+                                     self.translation_pages)
+        self.ftl_dram_bytes = ftl_dram_bytes
+        #: tpage index -> dirty flag, in LRU order (front = LRU).
+        self._cmt: "OrderedDict[int, bool]" = OrderedDict()
+        self.cmt_hits = 0
+        self.cmt_misses = 0
+        self.translation_reads = 0
+
+    # -- public API guards against the *data* address space ------------
+    def _check_data_lpn(self, logical_page: int) -> None:
+        if not 0 <= logical_page < self.data_pages:
+            raise FtlError(f"logical page {logical_page} out of range "
+                           f"[0, {self.data_pages})")
+
+    def lookup(self, logical_page: int):
+        self._check_data_lpn(logical_page)
+        return super().lookup(logical_page)
+
+    def read(self, logical_page: int):
+        self._check_data_lpn(logical_page)
+        self._touch_mapping(logical_page, dirty=False)
+        return super().read(logical_page)
+
+    def write(self, logical_page: int):
+        self._check_data_lpn(logical_page)
+        self._touch_mapping(logical_page, dirty=True)
+        return super().write(logical_page)
+
+    def trim(self, logical_page: int) -> None:
+        self._check_data_lpn(logical_page)
+        self._touch_mapping(logical_page, dirty=True)
+        super().trim(logical_page)
+
+    # -- cached mapping table ------------------------------------------
+    def _touch_mapping(self, logical_page: int, dirty: bool) -> None:
+        tpage = logical_page // self.entries_per_tpage
+        if tpage in self._cmt:
+            self.cmt_hits += 1
+            self._cmt.move_to_end(tpage)
+            if dirty:
+                self._cmt[tpage] = True
+            return
+        self.cmt_misses += 1
+        location = self._map.get(self.data_pages + tpage)
+        if location is not None:
+            # The mapping lives on flash: fetch it for real.
+            self.backend.read(location)
+            self.translation_reads += 1
+        while len(self._cmt) >= self.cached_tpages:
+            victim, victim_dirty = self._cmt.popitem(last=False)
+            if victim_dirty:
+                self._write_translation_page(victim)
+        self._cmt[tpage] = dirty
+
+    def _write_translation_page(self, tpage: int) -> None:
+        location = self._program_page(self.data_pages + tpage)
+        self.translation_writes += 1
+        # Translation programs consume space like any write; keep the
+        # garbage collector's watermark promise on their die too.
+        self._collect_if_needed(location[0])
+
+    def counters(self) -> Dict[str, object]:
+        out = super().counters()
+        out.update({
+            "cmt_hits": self.cmt_hits,
+            "cmt_misses": self.cmt_misses,
+            "translation_reads": self.translation_reads,
+        })
+        return out
+
+    def mapping_footprint(self) -> MappingFootprint:
+        return scheme_footprint(self.scheme_name, self.data_pages,
+                                page_bytes=self.page_bytes,
+                                ftl_dram_bytes=self.ftl_dram_bytes)
+
+
+def _pagemap_footprint(logical_pages: int, page_bytes: int,
+                       ftl_dram_bytes: Optional[int],
+                       group_pages: int) -> MappingFootprint:
+    table_bytes = logical_pages * ENTRY_BYTES
+    return MappingFootprint(
+        scheme="pagemap", entry_bytes=ENTRY_BYTES,
+        table_entries=logical_pages, table_bytes=table_bytes,
+        dram_bytes=table_bytes, flash_bytes=0, cached_fraction=1.0)
+
+
+def _groupmap_footprint(logical_pages: int, page_bytes: int,
+                        ftl_dram_bytes: Optional[int],
+                        group_pages: int) -> MappingFootprint:
+    entries = -(-logical_pages // max(1, group_pages))
+    table_bytes = entries * ENTRY_BYTES
+    return MappingFootprint(
+        scheme="groupmap", entry_bytes=ENTRY_BYTES,
+        table_entries=entries, table_bytes=table_bytes,
+        dram_bytes=table_bytes, flash_bytes=0, cached_fraction=1.0)
+
+
+def _dftl_footprint(logical_pages: int, page_bytes: int,
+                    ftl_dram_bytes: Optional[int],
+                    group_pages: int) -> MappingFootprint:
+    entries_per_tpage = max(1, page_bytes // ENTRY_BYTES)
+    tpages = -(-logical_pages // entries_per_tpage)
+    gtd_bytes = tpages * ENTRY_BYTES
+    tpage_bytes = entries_per_tpage * ENTRY_BYTES
+    if ftl_dram_bytes is None:
+        cached = tpages
+    else:
+        cached = min(max(0, (ftl_dram_bytes - gtd_bytes) // tpage_bytes),
+                     tpages)
+    return MappingFootprint(
+        scheme="dftl", entry_bytes=ENTRY_BYTES,
+        table_entries=logical_pages,
+        table_bytes=logical_pages * ENTRY_BYTES,
+        dram_bytes=gtd_bytes + cached * tpage_bytes,
+        flash_bytes=tpages * page_bytes,
+        cached_fraction=(cached / tpages) if tpages else 1.0)
+
+
+@dataclass(frozen=True)
+class FtlScheme:
+    """One registry entry: how to build the FTL and cost its table."""
+
+    name: str
+    description: str
+    factory: Callable[..., PageMapFtl]
+    footprint: Callable[[int, int, Optional[int], int], MappingFootprint]
+    #: Whether ``ftl_dram_bytes`` changes this scheme's behavior (the
+    #: sweep engine only expands DRAM budgets for schemes that react).
+    dram_sensitive: bool = False
+
+
+def _make_pagemap(backend, logical_pages, page_bytes, ftl_dram_bytes,
+                  group_pages, **kwargs) -> PageMapFtl:
+    return PageMapFtl(backend, logical_pages, **kwargs)
+
+
+def _make_groupmap(backend, logical_pages, page_bytes, ftl_dram_bytes,
+                   group_pages, **kwargs) -> GroupMapFtl:
+    return GroupMapFtl(backend, logical_pages,
+                       group_pages=group_pages or DEFAULT_GROUP_PAGES,
+                       **kwargs)
+
+
+def _make_blockmap(backend, logical_pages, page_bytes, ftl_dram_bytes,
+                   group_pages, **kwargs) -> GroupMapFtl:
+    ftl = GroupMapFtl(backend, logical_pages,
+                      group_pages=group_pages or backend.pages, **kwargs)
+    ftl.scheme_name = "blockmap"
+    return ftl
+
+
+def _make_dftl(backend, logical_pages, page_bytes, ftl_dram_bytes,
+               group_pages, **kwargs) -> DftlFtl:
+    return DftlFtl(backend, logical_pages, page_bytes=page_bytes,
+                   ftl_dram_bytes=ftl_dram_bytes, **kwargs)
+
+
+def _blockmap_footprint(logical_pages: int, page_bytes: int,
+                        ftl_dram_bytes: Optional[int],
+                        group_pages: int) -> MappingFootprint:
+    entries = -(-logical_pages // max(1, group_pages))
+    table_bytes = entries * ENTRY_BYTES
+    return MappingFootprint(
+        scheme="blockmap", entry_bytes=ENTRY_BYTES,
+        table_entries=entries, table_bytes=table_bytes,
+        dram_bytes=table_bytes, flash_bytes=0, cached_fraction=1.0)
+
+
+FTL_SCHEMES: Dict[str, FtlScheme] = {}
+
+
+def register_scheme(scheme: FtlScheme) -> FtlScheme:
+    """Add (or replace) a scheme in the registry."""
+    FTL_SCHEMES[scheme.name] = scheme
+    return scheme
+
+
+register_scheme(FtlScheme(
+    name="pagemap",
+    description="page-granularity map, fully DRAM-resident (reference)",
+    factory=_make_pagemap, footprint=_pagemap_footprint))
+register_scheme(FtlScheme(
+    name="groupmap",
+    description=f"one entry per {DEFAULT_GROUP_PAGES}-page group; "
+                "sub-group overwrites pay read-modify-write",
+    factory=_make_groupmap, footprint=_groupmap_footprint))
+register_scheme(FtlScheme(
+    name="blockmap",
+    description="one entry per erase block (group = pages_per_block)",
+    factory=_make_blockmap, footprint=_blockmap_footprint))
+register_scheme(FtlScheme(
+    name="dftl",
+    description="demand-paged map on flash; DRAM budget sizes the cached "
+                "mapping table (misses read, dirty evictions program)",
+    factory=_make_dftl, footprint=_dftl_footprint, dram_sensitive=True))
+
+
+def scheme_names() -> List[str]:
+    """Registered scheme names, registration order."""
+    return list(FTL_SCHEMES)
+
+
+def get_scheme(name: str) -> FtlScheme:
+    scheme = FTL_SCHEMES.get(name)
+    if scheme is None:
+        raise FtlError(f"unknown FTL scheme {name!r}; registered: "
+                       f"{scheme_names()}")
+    return scheme
+
+
+def make_ftl(name: str, backend: FlashBackend, logical_pages: int,
+             page_bytes: int, ftl_dram_bytes: Optional[int] = None,
+             group_pages: int = 0, **kwargs) -> PageMapFtl:
+    """Build a registered scheme's FTL over ``backend``.
+
+    ``group_pages`` 0 means the scheme default; extra ``kwargs``
+    (``gc_low_watermark``, ``static_wl_threshold``) pass through to the
+    underlying FTL.
+    """
+    scheme = get_scheme(name)
+    return scheme.factory(backend, logical_pages, page_bytes,
+                          ftl_dram_bytes, group_pages, **kwargs)
+
+
+def scheme_footprint(name: str, logical_pages: int, page_bytes: int,
+                     ftl_dram_bytes: Optional[int] = None,
+                     group_pages: int = 0) -> MappingFootprint:
+    """Predict a scheme's mapping footprint without building it.
+
+    For ``groupmap``/``blockmap`` pass the effective ``group_pages``
+    (``blockmap`` callers use the geometry's pages per block);
+    ``page_bytes`` only matters for flash-resident schemes.
+    """
+    scheme = get_scheme(name)
+    return scheme.footprint(logical_pages, page_bytes, ftl_dram_bytes,
+                            group_pages or DEFAULT_GROUP_PAGES)
+
+
+# The reference scheme reports a footprint too, via the same model.
+def _pagemap_mapping_footprint(self: PageMapFtl) -> MappingFootprint:
+    return _pagemap_footprint(self.logical_pages, 0, None, 0)
+
+
+PageMapFtl.mapping_footprint = _pagemap_mapping_footprint

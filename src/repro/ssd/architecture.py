@@ -20,7 +20,7 @@ from ..controller import GangScheme
 from ..dram.timing import Ddr2Timing
 from ..ecc import AdaptiveBch, EccScheme, FixedBch
 from ..faults import FaultConfig
-from ..ftl import WafModel
+from ..ftl import WafModel, scheme_names
 from ..host.interface import (HostInterfaceSpec, pcie_nvme_spec, sata2_spec)
 from ..nand.geometry import NandGeometry
 from ..nand.onfi import OnfiTiming
@@ -65,6 +65,17 @@ class SsdArchitecture:
     ecc: EccScheme = field(default_factory=FixedBch)
     compressor: CompressorModel = field(default_factory=CompressorModel)
     waf: WafModel = field(default_factory=WafModel)
+    #: Mapping scheme used by the real-FTL device modes (a name from the
+    #: :mod:`repro.ftl.schemes` registry: pagemap/groupmap/blockmap/dftl).
+    ftl_scheme: str = "pagemap"
+    #: Controller DRAM budget for FTL mapping metadata, in bytes.  None =
+    #: unconstrained (the whole table is DRAM-resident).  Only schemes
+    #: that demand-page their map (dftl) change behavior under it; every
+    #: scheme reports its footprint against it.
+    ftl_dram_bytes: Optional[int] = None
+    #: Logical pages per mapping entry for the group-mapped scheme; 0 =
+    #: the scheme default (groupmap: 8, blockmap: pages per block).
+    ftl_group_pages: int = 0
     gang_scheme: GangScheme = GangScheme.SHARED_BUS
     cpu_mode: CpuMode = CpuMode.ABSTRACT
     cpu_cores: int = 1
@@ -91,6 +102,13 @@ class SsdArchitecture:
         if (self.cpu_cycles_per_command is not None
                 and self.cpu_cycles_per_command < 0):
             raise ValueError("cpu_cycles_per_command must be >= 0 or None")
+        if self.ftl_scheme not in scheme_names():
+            raise ValueError(f"unknown ftl_scheme {self.ftl_scheme!r}; "
+                             f"registered: {scheme_names()}")
+        if self.ftl_dram_bytes is not None and self.ftl_dram_bytes < 1:
+            raise ValueError("ftl_dram_bytes must be >= 1 or None")
+        if self.ftl_group_pages < 0:
+            raise ValueError("ftl_group_pages must be >= 0 (0 = default)")
         if self.faults.enabled and self.fidelity.any_fast:
             # The fast paths fold away the per-phase retry/remap hooks
             # that fault injection instruments; refusing the combination
@@ -189,6 +207,9 @@ def from_config(config: Dict[str, Any],
         fidelity.dram       = cycle | fast
         fidelity.cpu        = cycle | fast
         ftl.random_waf      = 3.0
+        ftl.scheme          = pagemap | groupmap | blockmap | dftl
+        ftl.dram_bytes      = 262144
+        ftl.group_pages     = 8
         nand.initial_pe     = 0
         faults.enabled      = true
         faults.seed         = 1234
@@ -267,6 +288,14 @@ def from_config(config: Dict[str, Any],
     if "ftl.random_waf" in config:
         overrides["waf"] = WafModel(
             random_waf=float(config["ftl.random_waf"]))
+    if "ftl.scheme" in config:
+        overrides["ftl_scheme"] = str(config["ftl.scheme"])
+    if "ftl.dram_bytes" in config:
+        raw = config["ftl.dram_bytes"]
+        overrides["ftl_dram_bytes"] = None if raw in (None, "none") \
+            else int(raw)
+    if "ftl.group_pages" in config:
+        overrides["ftl_group_pages"] = int(config["ftl.group_pages"])
     if "nand.initial_pe" in config:
         overrides["initial_pe_cycles"] = int(config["nand.initial_pe"])
 

@@ -21,7 +21,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..faults import ProgramFailError, UncorrectableReadError
-from ..ftl.pagemap import JournalingBackend, PageMapFtl
+from ..ftl.pagemap import JournalingBackend
+from ..ftl.schemes import make_ftl
 from ..host import IoCommand
 from ..kernel import Resource, Simulator
 from ..nand.geometry import PageAddress
@@ -36,6 +37,7 @@ class FtlSsdDevice(SsdDevice):
                  name: str = "ssd", mode: DataPathMode = DataPathMode.FULL,
                  logical_utilization: float = 0.85,
                  ftl_blocks_per_plane: Optional[int] = None,
+                 ftl_scheme: Optional[str] = None,
                  parent=None):
         super().__init__(sim, arch, name=name, mode=mode, parent=parent)
         if not 0.0 < logical_utilization < 1.0:
@@ -52,9 +54,20 @@ class FtlSsdDevice(SsdDevice):
             geometry.pages_per_block)
         physical_pages = (arch.total_dies * geometry.planes_per_die
                           * blocks * geometry.pages_per_block)
-        self.ftl = PageMapFtl(self.backend,
-                              logical_pages=int(physical_pages
-                                                * logical_utilization))
+        group_pages = arch.ftl_group_pages or (
+            geometry.pages_per_block
+            if (ftl_scheme or arch.ftl_scheme) == "blockmap" else 0)
+        self.ftl_scheme = ftl_scheme or arch.ftl_scheme
+        self.ftl = make_ftl(
+            self.ftl_scheme, self.backend,
+            logical_pages=int(physical_pages * logical_utilization),
+            page_bytes=geometry.page_bytes,
+            ftl_dram_bytes=arch.ftl_dram_bytes,
+            group_pages=group_pages)
+        #: Host-visible logical space.  DFTL appends translation pages to
+        #: the FTL's internal space; hosts only address the data pages.
+        self.logical_pages = getattr(self.ftl, "data_pages",
+                                     self.ftl.logical_pages)
         #: Per-die replay locks (FIFO): keep timed ops in FTL order.
         self._replay_locks: Dict[int, Resource] = {}
         #: Rolling logical page for warm-start flushes.
@@ -66,7 +79,7 @@ class FtlSsdDevice(SsdDevice):
     def logical_page_of(self, command: IoCommand) -> int:
         """Map a command's LBA to the FTL's logical page space."""
         page_bytes = self.arch.geometry.page_bytes
-        return (command.lba * 512 // page_bytes) % self.ftl.logical_pages
+        return (command.lba * 512 // page_bytes) % self.logical_pages
 
     def die_coordinates(self, die_id: int) -> Tuple[int, int, int]:
         """Map the FTL's linear die id to (channel, way, die_index)."""
@@ -169,7 +182,7 @@ class FtlSsdDevice(SsdDevice):
             lpn = self.logical_page_of(command)
         else:
             lpn = self._warm_lpn
-            self._warm_lpn = (self._warm_lpn + pages) % self.ftl.logical_pages
+            self._warm_lpn = (self._warm_lpn + pages) % self.logical_pages
         try:
             for offset in range(pages):
                 # The FTL decides placement first (instantaneous metadata).
@@ -177,7 +190,7 @@ class FtlSsdDevice(SsdDevice):
                 # lock acquisitions enqueue in FTL order — a later command
                 # must not overtake this one on the same die.  The PP-DMA
                 # pull from DRAM proceeds concurrently.
-                self.ftl.write((lpn + offset) % self.ftl.logical_pages)
+                self.ftl.write((lpn + offset) % self.logical_pages)
                 entries = self.backend.drain()
                 host_die = entries[0][1][0]
                 channel_index, __, __ = self.die_coordinates(host_die)
@@ -203,11 +216,12 @@ class FtlSsdDevice(SsdDevice):
         location = self.ftl.read(lpn)
         if location is None:
             # Unwritten logical page: devices return zeroes without
-            # touching flash; charge only the DRAM + host path.
-            self.backend.drain()
+            # touching flash; charge only the DRAM + host path — but
+            # cached-mapping schemes may still have performed real
+            # metadata flash traffic (CMT miss fill / dirty eviction),
+            # which must be replayed, not dropped.
             self.stats.counter("reads_unmapped").increment()
-        else:
-            yield from self._replay(self.backend.drain())
+        yield from self._replay(self.backend.drain())
 
         page_bytes = self.arch.geometry.page_bytes
         buffer_index = self.buffers.buffer_for_channel(placement_hint[0])
@@ -226,10 +240,39 @@ class FtlSsdDevice(SsdDevice):
             {"channel": placement_hint[0], "way": placement_hint[1],
              "die": placement_hint[2]})
         self.ftl.trim(lpn)
-        self.backend.drain()   # trim is a metadata operation
+        # For the page-map reference trim is pure metadata (the journal is
+        # empty); cached-mapping schemes may have touched flash for the
+        # translation page and must pay for it.
+        yield from self._replay(self.backend.drain())
         self._complete(command, count_bytes=False)
 
     # ------------------------------------------------------------------
+    def sync_nand_to_ftl(self) -> None:
+        """Mirror the FTL's block states onto the timed NAND dies.
+
+        For use after an *untimed* preconditioning phase (FTL driven
+        directly, journal discarded): sets each die-model write pointer
+        to the FTL's count so the sequential-programming rule holds when
+        the timed window opens — the pre-imaged-drive convention of
+        :meth:`~repro.ssd.device.SsdDevice.preload_for_reads`, extended
+        to partially-written blocks.
+        """
+        for die_id in range(self.backend.n_dies):
+            channel_index, way, die_index = self.die_coordinates(die_id)
+            die = self.channels[channel_index].dies[way][die_index]
+            for plane in range(self.backend.planes):
+                for block in range(self.backend.blocks):
+                    die.preload_block(
+                        plane, block,
+                        self.ftl.write_pointer_of(die_id, plane, block))
+
     def measured_waf(self) -> float:
         """Write amplification actually produced by the FTL."""
         return self.ftl.waf
+
+    def ftl_metrics(self) -> Dict[str, object]:
+        """Scheme name, accounting counters and mapping footprint."""
+        metrics: Dict[str, object] = {"scheme": self.ftl_scheme}
+        metrics.update(self.ftl.counters())
+        metrics["footprint"] = self.ftl.mapping_footprint().to_dict()
+        return metrics

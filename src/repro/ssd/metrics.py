@@ -81,6 +81,11 @@ class RunResult:
     #: is enabled during the run): stage name -> breakdown row as
     #: produced by :meth:`repro.obs.spans.SpanRecorder.breakdown`.
     stage_breakdown: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Real-FTL accounting (scheme, counters, mapping footprint) from
+    #: :meth:`repro.ssd.ftl_device.FtlSsdDevice.ftl_metrics`.  Empty for
+    #: WAF-abstraction devices — and omitted from :meth:`to_dict` so the
+    #: existing golden payloads stay byte-identical.
+    ftl: Dict[str, object] = field(default_factory=dict)
 
     def __str__(self) -> str:
         return (f"{self.label}: {self.throughput_mbps:8.1f} MB/s  "
@@ -126,6 +131,7 @@ class RunResult:
             },
             "stage_breakdown": {name: dict(row) for name, row
                                 in self.stage_breakdown.items()},
+            **({"ftl": dict(self.ftl)} if self.ftl else {}),
         })
 
 
@@ -241,6 +247,8 @@ def run_workload(sim: Simulator, device: SsdDevice, workload: Workload,
         stage_breakdown=(_obs.active_recorder.breakdown()
                          if _obs.enabled else {}),
         outcomes=classify_commands(commands),
+        ftl=(device.ftl_metrics()
+             if hasattr(device, "ftl_metrics") else {}),
         **collect_reliability(device),
     )
 

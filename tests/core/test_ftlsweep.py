@@ -1,0 +1,155 @@
+"""FTL scheme-zoo sweep: point expansion, determinism, analytic check.
+
+The ISSUE-level contracts pinned here:
+
+* ``ftl_dram_bytes`` is a first-class sweep axis — DRAM-sensitive
+  schemes expand into one point per budget, named ``scheme@<KiB>``,
+* the ``ftl`` evaluator is registered with the sweep engine and its
+  payloads are deterministic (workers=1 vs workers=4 byte-identical),
+* the trade-off table exposes footprint + WAF + latency side by side,
+* the page-map reference lands within the analytic WAF envelope.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.ftlsweep import (DEFAULT_BLOCKS_PER_PLANE,
+                                 DEFAULT_UTILIZATION, analytic_waf_check,
+                                 default_dram_budgets, evaluate_ftl_point,
+                                 ftl_base_architecture, ftl_sweep,
+                                 ftl_sweep_points, ftl_sweep_table)
+from repro.core.sweep import EVALUATORS, SweepRunner
+from repro.core.tracereplay import TraceWorkload
+from repro.ftl import FtlError, scheme_footprint
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+SAMPLE = os.path.join(REPO_ROOT, "examples", "sample_msr.csv")
+
+
+def sample_workload(**options):
+    options.setdefault("max_commands", 40)
+    options.setdefault("honor_issue_times", False)
+    return TraceWorkload.from_file(SAMPLE, **options)
+
+
+def canonical_json(payloads):
+    return json.dumps(payloads, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Point expansion
+
+
+def test_ftl_evaluator_is_registered():
+    assert "ftl" in EVALUATORS
+
+
+def test_dram_sensitive_schemes_expand_across_budgets():
+    workload = sample_workload()
+    points = ftl_sweep_points(workload, schemes=["pagemap", "dftl"],
+                              dram_budgets=[8192, 25088])
+    assert [p.name for p in points] == ["pagemap", "dftl@8KiB",
+                                        "dftl@24KiB"]
+    pagemap, small, large = points
+    assert pagemap.arch.ftl_scheme == "pagemap"
+    assert small.arch.ftl_scheme == "dftl"
+    assert small.arch.ftl_dram_bytes == 8192
+    assert large.arch.ftl_dram_bytes == 25088
+    assert all(p.evaluator == "ftl" for p in points)
+
+
+def test_insensitive_schemes_get_one_point_regardless_of_budgets():
+    workload = sample_workload()
+    points = ftl_sweep_points(workload, schemes=["groupmap"],
+                              dram_budgets=[8192, 25088])
+    assert [p.name for p in points] == ["groupmap"]
+
+
+def test_unknown_scheme_rejected_up_front():
+    with pytest.raises(FtlError, match="unknown FTL scheme"):
+        ftl_sweep_points(sample_workload(), schemes=["hybridmap"])
+
+
+def test_default_budget_ladder_spans_the_cached_range():
+    arch = ftl_base_architecture()
+    budgets = default_dram_budgets(arch)
+    assert budgets == sorted(budgets)
+    assert len(budgets) == 3
+    geometry = arch.geometry
+    physical = (arch.total_dies * geometry.planes_per_die
+                * DEFAULT_BLOCKS_PER_PLANE * geometry.pages_per_block)
+    data_pages = int(physical * DEFAULT_UTILIZATION)
+    full = scheme_footprint("dftl", data_pages,
+                            page_bytes=geometry.page_bytes)
+    assert budgets[-1] == full.dram_bytes       # whole table cached
+    small = scheme_footprint("dftl", data_pages,
+                             page_bytes=geometry.page_bytes,
+                             ftl_dram_bytes=budgets[0])
+    assert 0.0 < small.cached_fraction < 1.0    # minimum still viable
+
+
+# ----------------------------------------------------------------------
+# Evaluator determinism
+
+
+def test_ftl_evaluator_is_deterministic_in_process():
+    point = ftl_sweep_points(sample_workload(), schemes=["pagemap"])[0]
+    first, first_events = evaluate_ftl_point(point)
+    second, second_events = evaluate_ftl_point(point)
+    assert canonical_json(first) == canonical_json(second)
+    assert first_events == second_events
+    assert first["ftl"]["scheme"] == "pagemap"
+    assert first["ftl"]["footprint"]["cached_fraction"] == 1.0
+    assert first["wall_seconds"] == 0.0
+
+
+@pytest.mark.slow
+def test_ftl_sweep_identical_workers_1_vs_4():
+    workload = sample_workload()
+    serial = ftl_sweep(workload, schemes=["pagemap", "dftl"],
+                       dram_budgets=[8192],
+                       runner=SweepRunner(workers=1))
+    parallel = ftl_sweep(workload, schemes=["pagemap", "dftl"],
+                         dram_budgets=[8192],
+                         runner=SweepRunner(workers=4))
+    assert serial, "sweep produced no successful points"
+    assert canonical_json(serial) == canonical_json(parallel)
+
+
+# ----------------------------------------------------------------------
+# Trade-off table
+
+
+def test_sweep_table_charts_footprint_against_waf():
+    workload = sample_workload()
+    payloads = ftl_sweep(workload, schemes=["pagemap", "dftl"],
+                         dram_budgets=[8192])
+    rows = ftl_sweep_table(payloads)
+    assert [row["point"] for row in rows] == ["pagemap", "dftl@8KiB"]
+    by_point = {row["point"]: row for row in rows}
+    pagemap, dftl = by_point["pagemap"], by_point["dftl@8KiB"]
+    assert pagemap["scheme"] == "pagemap"
+    assert dftl["scheme"] == "dftl"
+    assert dftl["dram_bytes"] < pagemap["dram_bytes"]
+    assert dftl["translation_writes"] > 0       # starved cache pages out
+    assert pagemap["translation_writes"] == 0
+    for row in rows:
+        assert row["waf"] >= 1.0
+        assert row["throughput_mbps"] > 0
+        assert row["mean_latency_us"] > 0
+        assert row["p99_latency_us"] >= row["mean_latency_us"]
+
+
+# ----------------------------------------------------------------------
+# Analytic cross-check
+
+
+@pytest.mark.slow
+def test_pagemap_waf_within_analytic_envelope():
+    report = analytic_waf_check()
+    assert report["within_bound"], report
+    assert 1.0 <= report["measured_waf"] <= report["lru_analytic_waf"] * 1.25
+    assert report["deviation_vs_greedy"] <= 0.20
