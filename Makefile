@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast bench sweep campaign faults profile trace fidelity \
-	golden golden-refresh reliability reliability-bench ftl
+	golden golden-refresh reliability reliability-bench ftl tenants
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -78,6 +78,19 @@ ftl:
 		> /tmp/repro-ftl-b.json
 	cmp /tmp/repro-ftl-a.json /tmp/repro-ftl-b.json
 	@echo "ftl sweep deterministic across worker counts"
+
+# Multi-tenant serving smoke: run a 3-tenant mix, print the pairwise
+# interference report, and require the tenant-count x policy sweep to be
+# byte-identical across worker counts.
+tenants:
+	$(PYTHON) -m repro tenants run --tenants 3 --policy wrr
+	$(PYTHON) -m repro tenants report --tenants 2
+	$(PYTHON) -m repro tenants sweep --counts 1,2 --workers 1 --json \
+		> /tmp/repro-tenants-a.json
+	$(PYTHON) -m repro tenants sweep --counts 1,2 --workers 4 --json \
+		> /tmp/repro-tenants-b.json
+	cmp /tmp/repro-tenants-a.json /tmp/repro-tenants-b.json
+	@echo "tenant sweep deterministic across worker counts"
 
 # Trace-ingestion smoke: characterize, replay and format-convert the
 # bundled sample trace end to end through the CLI.

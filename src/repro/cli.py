@@ -702,6 +702,158 @@ def cmd_ftl_sweep(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro tenants …
+
+
+def _tenant_specs_from_args(args: argparse.Namespace):
+    """Build the tenant set a ``repro tenants`` invocation describes.
+
+    ``--trace`` appends a trace-replay tenant; because a mix must be
+    uniformly open- or closed-loop, that implies paced arrivals for the
+    synthetic tenants too (``--rate`` defaults to 10k IOPS each, with
+    staggered phases).
+    """
+    from dataclasses import replace
+
+    from .core.tenantsweep import default_tenant_set
+    from .host.tenants import TenantSpec
+    rate = args.rate
+    if args.trace and not rate:
+        rate = 10_000.0
+    specs = default_tenant_set(args.tenants)
+    streams = args.tenants + (1 if args.trace else 0)
+    if args.commands or rate:
+        interval = int(1e12 / rate) if rate else 0
+        specs = [replace(spec,
+                         n_commands=args.commands or spec.n_commands,
+                         rate_iops=rate,
+                         phase_ps=(index * interval) // streams
+                         if rate else 0)
+                 for index, spec in enumerate(specs)]
+    if args.trace:
+        specs.append(TenantSpec.from_trace(
+            "trace", args.trace, n_commands=args.commands or 48,
+            span_bytes=1 << 22, queue_depth=8, weight=args.tenants + 1))
+    return specs
+
+
+def _print_tenant_rows(rows: List[dict]) -> None:
+    header = (f"{'tenant':<8} {'workload':<8} {'wgt':>3} {'cmds':>5} "
+              f"{'share d/a':>11} {'p50 us':>9} {'p99 us':>9} "
+              f"{'p99.9':>9} {'p99.99':>9}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        latency = row["latency_us"]
+        print(f"{row['name']:<8} {row['workload']:<8} {row['weight']:>3} "
+              f"{row['commands']:>5} "
+              f"{row['demanded_share']:>5.2f}/{row['achieved_share']:<5.2f} "
+              f"{latency['p50']:>9.1f} {latency['p99']:>9.1f} "
+              f"{latency['p999']:>9.1f} {latency['p9999']:>9.1f}")
+
+
+def _print_matrix(title: str, names: List[str],
+                  cells: List[List[float]]) -> None:
+    print(title)
+    print(f"{'':<8}" + "".join(f"{name:>9}" for name in names))
+    for name, row in zip(names, cells):
+        print(f"{name:<8}" + "".join(f"{value:>9.3f}" for value in row))
+
+
+def cmd_tenants_run(args: argparse.Namespace) -> int:
+    """Arbitrate one tenant mix and print per-tenant QoS metrics."""
+    from .core.tenantsweep import run_tenant_mix, tenants_base_architecture
+    specs = _tenant_specs_from_args(args)
+    try:
+        payload, __ = run_tenant_mix(
+            tenants_base_architecture(), specs, policy=args.policy,
+            isolate_channels=args.isolate,
+            label=f"t{len(specs)}-{args.policy}")
+    except (ValueError, OSError) as error:
+        raise SystemExit(str(error))
+    payload["aggregate"]["wall_seconds"] = 0.0
+    if args.json:
+        print(render_json(payload))
+        return 0
+    aggregate = payload["aggregate"]
+    print(f"{payload['label']}: {payload['n_tenants']} tenant(s), "
+          f"{args.policy} arbitration"
+          + (", isolated channels" if args.isolate else ""))
+    print(f"aggregate: {aggregate['throughput_mbps']:.1f} MB/s, "
+          f"{aggregate['commands']} commands")
+    print()
+    _print_tenant_rows(payload["tenants"])
+    return 0
+
+
+def cmd_tenants_report(args: argparse.Namespace) -> int:
+    """Measure and print the N×N noisy-neighbor interference matrix."""
+    from .core.tenantsweep import (interference_matrix,
+                                   tenants_base_architecture)
+    specs = _tenant_specs_from_args(args)
+    try:
+        matrix, events = interference_matrix(
+            tenants_base_architecture(), specs, policy=args.policy,
+            isolate_channels=args.isolate)
+    except (ValueError, OSError) as error:
+        raise SystemExit(str(error))
+    if args.json:
+        print(render_json({"policy": args.policy,
+                           "isolate_channels": bool(args.isolate),
+                           **matrix}))
+        return 0
+    names = matrix["tenants"]
+    print(f"noisy-neighbor matrix: {len(names)} tenants, "
+          f"{args.policy} arbitration"
+          + (", isolated channels" if args.isolate else "")
+          + f" ({events} kernel events)")
+    print()
+    _print_matrix("mean-latency inflation (row = victim, col = neighbor):",
+                  names, matrix["inflation"])
+    print()
+    _print_matrix("GC-attributed us/command gained in the pairing:",
+                  names, matrix["gc_attributed_us"])
+    return 0
+
+
+def cmd_tenants_sweep(args: argparse.Namespace) -> int:
+    """Run the tenant-count × arbitration-policy grid."""
+    from .core.tenantsweep import tenant_sweep, tenant_sweep_table
+    counts = [int(part) for part in args.counts.split(",") if part]
+    policies = [part.strip() for part in args.policies.split(",") if part]
+    runner = runner_from_args(args, quiet=args.json)
+    try:
+        payloads = tenant_sweep(counts=counts, policies=policies,
+                                runner=runner,
+                                interference=not args.no_interference)
+    except (RuntimeError, ValueError) as error:
+        raise SystemExit(str(error))
+    rows = tenant_sweep_table(payloads)
+    if args.json:
+        # No wall-clock summary line: JSON output must stay byte-identical
+        # across runs and worker counts (same convention as cmd_faults).
+        print(render_json({"rows": rows}))
+        return 0
+    header = (f"{'point':<10} {'tenant':<8} {'workload':<8} "
+              f"{'share d/a':>11} {'p50 us':>9} {'p99 us':>9} "
+              f"{'p99.9':>9} {'p99.99':>9} {'worst nbr':>10}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        worst = row["worst_neighbor_inflation"]
+        print(f"{row['point']:<10} {row['tenant']:<8} "
+              f"{row['workload']:<8} "
+              f"{row['demanded_share']:>5.2f}/"
+              f"{row['achieved_share']:<5.2f} "
+              f"{row['p50_latency_us']:>9.1f} "
+              f"{row['p99_latency_us']:>9.1f} "
+              f"{row['p999_latency_us']:>9.1f} "
+              f"{row['p9999_latency_us']:>9.1f} "
+              + (f"{worst:>10.3f}" if worst is not None else f"{'-':>10}"))
+    return _print_summary(runner)
+
+
+# ----------------------------------------------------------------------
 # repro campaign …
 
 
@@ -1131,6 +1283,64 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit rows + analytic check as JSON")
     add_sweep_options(fsweep)
     fsweep.set_defaults(func=cmd_ftl_sweep)
+
+    tenants = sub.add_parser(
+        "tenants", help="multi-tenant serving: arbitrate N initiator "
+                        "streams into one device; per-tenant tail "
+                        "latency, IOPS shares and noisy-neighbor "
+                        "interference")
+    tenants_sub = tenants.add_subparsers(dest="tenants_command",
+                                         required=True)
+
+    def add_tenant_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--tenants", type=int, default=3,
+                            help="synthetic tenant count (varied workload "
+                                 "shapes, escalating weights)")
+        parser.add_argument("--policy", type=str, default="rr",
+                            choices=("rr", "wrr"),
+                            help="arbitration policy")
+        parser.add_argument("--commands", type=int, default=0,
+                            help="commands per tenant (0 = default 48)")
+        parser.add_argument("--rate", type=float, default=0.0,
+                            help="open-loop arrival rate per tenant in "
+                                 "IOPS (0 = closed loop, saturating)")
+        parser.add_argument("--isolate", action="store_true",
+                            help="give each tenant a disjoint channel "
+                                 "subset (namespace->channel pinning)")
+        parser.add_argument("--trace", type=str, default="",
+                            help="append a trace-replay tenant (implies "
+                                 "paced arrivals for the synthetic "
+                                 "tenants)")
+        parser.add_argument("--json", action="store_true")
+
+    trun = tenants_sub.add_parser(
+        "run", help="arbitrate one tenant mix; per-tenant "
+                    "p50/p99/p99.9/p99.99 and achieved vs demanded "
+                    "shares")
+    add_tenant_options(trun)
+    trun.set_defaults(func=cmd_tenants_run)
+
+    treport = tenants_sub.add_parser(
+        "report", help="N x N noisy-neighbor matrix: pairwise "
+                       "mean-latency inflation vs solo baselines, with "
+                       "the GC-attributed share from command spans")
+    add_tenant_options(treport)
+    treport.set_defaults(func=cmd_tenants_report)
+
+    tsweep2 = tenants_sub.add_parser(
+        "sweep", help="tenant-count x arbitration-policy grid through "
+                      "the sweep engine (cacheable, campaign-able)")
+    tsweep2.add_argument("--counts", type=str, default="1,2,3",
+                         help="comma-separated tenant counts")
+    tsweep2.add_argument("--policies", type=str, default="rr,wrr",
+                         help="comma-separated arbitration policies")
+    tsweep2.add_argument("--no-interference", action="store_true",
+                         help="skip the pairwise interference matrices "
+                              "(much faster)")
+    tsweep2.add_argument("--json", action="store_true",
+                         help="emit per-tenant QoS rows as JSON")
+    add_sweep_options(tsweep2)
+    tsweep2.set_defaults(func=cmd_tenants_sweep)
 
     cal = sub.add_parser(
         "calibrate", help="fit the fast-fidelity parameters from short "

@@ -27,6 +27,11 @@ from .explorer import (DesignPoint, DesignSpaceExplorer, ExplorationResult,
 from .ftlsweep import (analytic_waf_check, default_dram_budgets,
                        evaluate_ftl_point, ftl_sweep, ftl_sweep_points,
                        ftl_sweep_table)
+from .tenantsweep import (DEFAULT_TENANT_COUNTS, default_tenant_set,
+                          evaluate_tenants_point, interference_matrix,
+                          run_tenant_mix, tenant_sweep,
+                          tenant_sweep_points, tenant_sweep_table,
+                          tenants_base_architecture)
 from .fullreport import generate_report
 from .kernelbench import (interface_speed, kernel_microbench,
                           kernel_speed_report, render_report, write_report)
@@ -97,6 +102,10 @@ __all__ = [
     "trace_sweep", "trace_sweep_points",
     "analytic_waf_check", "default_dram_budgets", "evaluate_ftl_point",
     "ftl_sweep", "ftl_sweep_points", "ftl_sweep_table",
+    "DEFAULT_TENANT_COUNTS", "default_tenant_set",
+    "evaluate_tenants_point", "interference_matrix", "run_tenant_mix",
+    "tenant_sweep", "tenant_sweep_points", "tenant_sweep_table",
+    "tenants_base_architecture",
     "render_breakdown_table", "render_json",
     "render_series_table", "render_speed_table", "render_table",
     "render_validation_table", "run_validation", "speed_sweep",

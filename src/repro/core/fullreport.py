@@ -59,12 +59,40 @@ def _render_ftl_section(repo_root: str = ".") -> List[str]:
                f"{verdict}.", ""])
 
 
+def _render_tenants_section() -> List[str]:
+    """Multi-tenant serving: per-tenant tails and worst-neighbor column."""
+    from .sweep import SweepRunner
+    from .tenantsweep import tenant_sweep, tenant_sweep_table
+    payloads = tenant_sweep(counts=[1, 3], runner=SweepRunner(workers=1))
+    rows = tenant_sweep_table(payloads)
+    lines = ["| point | tenant | workload | share d/a | p50 us | p99 us | "
+             "p99.9 us | p99.99 us | worst nbr |",
+             "|---|---|---|---|---|---|---|---|---|"]
+    for row in rows:
+        worst = row["worst_neighbor_inflation"]
+        lines.append(
+            f"| {row['point']} | {row['tenant']} | {row['workload']} | "
+            f"{row['demanded_share']:.2f}/{row['achieved_share']:.2f} | "
+            f"{row['p50_latency_us']:.1f} | {row['p99_latency_us']:.1f} | "
+            f"{row['p999_latency_us']:.1f} | "
+            f"{row['p9999_latency_us']:.1f} | "
+            + (f"{worst:+.3f} |" if worst is not None else "- |"))
+    return (["## Multi-tenant serving — arbitration and tail QoS", ""]
+            + lines
+            + ["",
+               "Tail percentiles come from log-binned latency histograms; "
+               "`worst nbr` is the tenant's largest pairwise mean-latency "
+               "inflation vs its solo baseline (the noisy-neighbor "
+               "matrix's worst column).", ""])
+
+
 def generate_report(n_commands: int = 800,
                     configs: Optional[List[str]] = None,
                     include_fig4: bool = True,
                     include_profile: bool = True,
                     include_reliability: bool = True,
                     include_ftl: bool = True,
+                    include_tenants: bool = True,
                     reliability_replicas: int = 8) -> str:
     """Run the evaluation and return the report as markdown text.
 
@@ -79,6 +107,9 @@ def generate_report(n_commands: int = 800,
     perf-vs-reliability-vs-spares frontier.  ``include_ftl`` adds the
     real-FTL scheme-zoo trade-off table on the bundled sample trace
     (skipped automatically when the trace is not on disk).
+    ``include_tenants`` adds the multi-tenant serving section: per-tenant
+    tail percentiles, achieved-vs-demanded shares and the worst
+    noisy-neighbor inflation per tenant.
     """
     started = time.perf_counter()
     sections: List[str] = [
@@ -141,6 +172,9 @@ def generate_report(n_commands: int = 800,
 
     if include_ftl:
         sections += _render_ftl_section()
+
+    if include_tenants:
+        sections += _render_tenants_section()
 
     if include_reliability:
         from .reliability import ReliabilityGrid, run_reliability_campaign

@@ -78,11 +78,27 @@ def golden_ftl_sample_trace(repo_root: str = ".") -> Dict[str, Any]:
     return payloads
 
 
+def golden_tenants_small() -> Dict[str, Any]:
+    """A 3-tenant mix under both arbitration policies (synthetic only).
+
+    Pins the whole multi-initiator stack — queue-pair arbitration, the
+    static stream merge, namespace partitioning, log-binned tail
+    percentiles, share accounting and the pairwise interference matrix.
+    Any behavior drift in arbitration or placement shows up as a byte
+    diff here.
+    """
+    from .sweep import SweepRunner
+    from .tenantsweep import tenant_sweep
+    return tenant_sweep(counts=[3], policies=["rr", "wrr"],
+                        runner=SweepRunner(workers=1))
+
+
 GOLDENS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "fig3": golden_fig3,
     "fig5": golden_fig5,
     "sample_trace": golden_sample_trace,
     "ftl_sample_trace": golden_ftl_sample_trace,
+    "tenants_small": golden_tenants_small,
 }
 
 

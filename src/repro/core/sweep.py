@@ -53,7 +53,10 @@ from ..ssd.scenarios import breakdown_with_events, measure
 #: sweep-6: architectures gained the FTL scheme registry fields
 #: (ftl_scheme / ftl_dram_bytes / ftl_group_pages) and real-FTL
 #: RunResult payloads gained the ftl metrics section.
-CODE_VERSION = "sweep-6"
+#: sweep-7: the tenants evaluator landed (multi-initiator arbitration,
+#: per-tenant log-binned tail percentiles, interference matrices) and
+#: devices gained namespace→channel placement state.
+CODE_VERSION = "sweep-7"
 
 
 # ----------------------------------------------------------------------
@@ -176,11 +179,22 @@ def _eval_ftl(point: SweepPoint) -> Tuple[Dict[str, Any], int]:
     return evaluate_ftl_point(point)
 
 
+def _eval_tenants(point: SweepPoint) -> Tuple[Dict[str, Any], int]:
+    """Multi-tenant arbitration run (tenant-count × policy grid points).
+
+    Deferred import for the same reason as :func:`_eval_replay`:
+    :mod:`repro.core.tenantsweep` imports this module's types.
+    """
+    from .tenantsweep import evaluate_tenants_point
+    return evaluate_tenants_point(point)
+
+
 EVALUATORS: Dict[str, Callable[[SweepPoint], Tuple[Dict[str, Any], int]]] = {
     "breakdown": _eval_breakdown,
     "measure": _eval_measure,
     "replay": _eval_replay,
     "ftl": _eval_ftl,
+    "tenants": _eval_tenants,
 }
 
 

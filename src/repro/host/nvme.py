@@ -15,7 +15,7 @@ The aggregate per-command cost derived here is what
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 #: TLP header + framing bytes per PCIe packet (3-DW header + seq + LCRC).
 TLP_OVERHEAD_BYTES = 20
@@ -177,4 +177,34 @@ def round_robin_arbitrate(queues: List[QueuePair],
                 progress = True
         if not progress:
             break
+    return served
+
+
+def weighted_round_robin_arbitrate(queues: List[QueuePair],
+                                   weights: List[int],
+                                   budget: Optional[int] = None
+                                   ) -> List[int]:
+    """One round of NVMe weighted-round-robin arbitration.
+
+    Queue ``i`` is granted a burst of up to ``weights[i]`` SQEs per round
+    (the NVMe "arbitration burst" per priority queue); a queue that runs
+    dry mid-burst simply forfeits the remainder — credits never carry
+    over between rounds.  Returns the qids served, in service order; the
+    caller loops rounds until nothing is served.
+    """
+    if len(weights) != len(queues):
+        raise ValueError(f"{len(queues)} queues but {len(weights)} weights")
+    if any(weight < 1 for weight in weights):
+        raise ValueError("arbitration weights must be >= 1")
+    if budget is not None and budget < 0:
+        raise ValueError("budget must be >= 0")
+    served: List[int] = []
+    for queue, weight in zip(queues, weights):
+        for __ in range(weight):
+            if budget is not None and len(served) >= budget:
+                return served
+            if queue._sq_head == queue._sq_tail:
+                break
+            queue.fetch()
+            served.append(queue.qid)
     return served

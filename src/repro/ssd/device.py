@@ -107,6 +107,12 @@ class SsdDevice(Component):
 
         # Round-robin die striping state and per-die page allocation.
         self._stripe = 0
+        # Optional namespace placement: (base_lba, end_lba, channels)
+        # ranges mapping LBA partitions onto channel subsets, each with
+        # its own striping rotor.  Empty == single-namespace device; the
+        # default path is byte-identical with the feature unused.
+        self._ns_ranges: List[Tuple[int, int, Tuple[int, ...]]] = []
+        self._ns_rotor: Dict[int, int] = {}
         self._die_cursor: Dict[Tuple[int, int, int], int] = {}
         # Independent read addressing (never perturbs the write pointers).
         self._read_cursor: Dict[Tuple[int, int, int], int] = {}
@@ -146,9 +152,47 @@ class SsdDevice(Component):
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
-    def next_target(self) -> Tuple[int, int, int]:
-        """Round-robin (channel, way, die) striping."""
+    def set_namespace_channels(
+            self, ranges: List[Tuple[int, int, Tuple[int, ...]]]) -> None:
+        """Pin LBA ranges to channel subsets (multi-tenant isolation).
+
+        ``ranges`` is ``[(base_lba, end_lba, channels), ...]``; commands
+        whose LBA falls inside a range stripe only over that range's
+        channels, via a rotor private to the range — so one namespace's
+        placement sequence is independent of traffic in the others.  A
+        range with an empty channel tuple (or an LBA outside every
+        range) uses the device-wide rotor, unchanged.
+        """
+        for base, end, channels in ranges:
+            if base < 0 or end <= base:
+                raise ValueError(f"bad namespace range [{base}, {end})")
+            for channel in channels:
+                if not 0 <= channel < self.arch.n_channels:
+                    raise ValueError(f"channel {channel} out of range for "
+                                     f"{self.arch.n_channels}-channel device")
+        self._ns_ranges = [(base, end, tuple(channels))
+                           for base, end, channels in ranges]
+        self._ns_rotor = {}
+
+    def next_target(self, lba: Optional[int] = None) -> Tuple[int, int, int]:
+        """Round-robin (channel, way, die) striping.
+
+        With namespace ranges installed (:meth:`set_namespace_channels`)
+        and an ``lba`` given, striping is confined to the owning range's
+        channel subset; otherwise the device-wide rotor decides.
+        """
         arch = self.arch
+        if lba is not None and self._ns_ranges:
+            for slot, (base, end, channels) in enumerate(self._ns_ranges):
+                if channels and base <= lba < end:
+                    index = self._ns_rotor.get(slot, 0)
+                    dies = len(channels) * arch.n_ways * arch.dies_per_way
+                    self._ns_rotor[slot] = (index + 1) % dies
+                    channel = channels[index % len(channels)]
+                    way = (index // len(channels)) % arch.n_ways
+                    die = (index // (len(channels) * arch.n_ways)) \
+                        % arch.dies_per_way
+                    return channel, way, die
         index = self._stripe
         self._stripe = (self._stripe + 1) % arch.total_dies
         channel = index % arch.n_channels
@@ -347,7 +391,7 @@ class SsdDevice(Component):
         if span is not None:
             span.mark("compress", sim.now)
 
-        placement = self.next_target()
+        placement = self.next_target(command.lba)
         channel_index, way, die_index = placement
         yield from self.cpu.process_command(
             command.opcode.value, command.lba, command.sectors,
@@ -528,7 +572,7 @@ class SsdDevice(Component):
         span = command.span
         command.submit_time_ps = sim.now
 
-        placement = self.next_target()
+        placement = self.next_target(command.lba)
         channel_index, way, die_index = placement
         controller = self.channels[channel_index]
         yield from self.cpu.process_command(
@@ -566,7 +610,7 @@ class SsdDevice(Component):
 
     # -- trim -----------------------------------------------------------
     def _trim_flow(self, command: IoCommand):
-        placement = self.next_target()
+        placement = self.next_target(command.lba)
         channel_index, way, die_index = placement
         yield from self.cpu.process_command(
             command.opcode.value, command.lba, command.sectors,
